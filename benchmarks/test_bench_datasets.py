@@ -1,0 +1,49 @@
+"""E2 — demo step "Configuration": the three datasets and their facets.
+
+Benchmarks dataset generation and prints the configuration panel: per
+dataset, its size, its facets, and each facet's lattice dimensions.
+"""
+
+import pytest
+
+from repro.console.panels import panel_configuration
+from repro.core.report import format_table
+from repro.datasets import DATASET_NAMES, load_dataset
+from repro.rdf import GraphStatistics
+
+from conftest import emit
+
+
+class TestDatasetGeneration:
+    @pytest.mark.benchmark(group="E2-generation")
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_generate_small(self, benchmark, name):
+        loaded = benchmark.pedantic(
+            lambda: load_dataset(name, "small"), rounds=3, iterations=1)
+        assert len(loaded.graph) > 0
+
+
+class TestConfigurationPanel:
+    @pytest.mark.benchmark(group="E2-report")
+    def test_emit_configuration(self, benchmark, all_small):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        rows = []
+        for name, loaded in sorted(all_small.items()):
+            stats = GraphStatistics.of(loaded.graph)
+            for facet_name, facet in sorted(loaded.facets.items()):
+                rows.append([
+                    name,
+                    str(stats.triple_count),
+                    str(stats.node_count),
+                    str(stats.predicate_count),
+                    facet_name,
+                    str(facet.dimension_count),
+                    str(facet.lattice_size),
+                    facet.aggregate.name,
+                ])
+        emit("E2", format_table(
+            ("dataset", "triples", "nodes", "preds", "facet", "|X|",
+             "views", "agg"), rows,
+            align_right=[False, True, True, True, False, True, True, False]))
+        for loaded in all_small.values():
+            emit("E2", panel_configuration(loaded))

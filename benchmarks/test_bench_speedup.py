@@ -1,0 +1,88 @@
+"""E7 — §3.2 claim: answering from a view beats the base graph.
+
+For each dataset's headline facet, runs the same analytical queries on
+the raw graph and through the best materialized view, reporting the
+speedup per lattice granularity and the (small) rewriting overhead.
+"""
+
+import pytest
+
+from repro.core import Sofos
+from repro.core.report import format_table
+from repro.cube import AnalyticalQuery
+
+from conftest import emit
+
+HEADLINE = {
+    "dbpedia": "population_cube",
+    "lubm": "students_by_department",
+    "swdf": "papers_by_conference",
+}
+
+
+@pytest.fixture(scope="module")
+def systems(all_small):
+    out = {}
+    for name, loaded in all_small.items():
+        sofos = Sofos(loaded.graph, loaded.facet(HEADLINE[name]), seed=0)
+        sofos.select_and_materialize("agg_values",
+                                     k=sofos.facet.dimension_count)
+        out[name] = sofos
+    return out
+
+
+class TestViewSpeedup:
+    @pytest.mark.benchmark(group="E7-report")
+    @pytest.mark.parametrize("name", sorted(HEADLINE))
+    def test_speedup_per_granularity(self, benchmark, systems, name):
+        sofos = systems[name]
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        rows = []
+        speedups = []
+        for mask in range(sofos.facet.lattice_size):
+            query = AnalyticalQuery(sofos.facet, mask)
+            base = sofos.answer_from_base(query)
+            via = sofos.answer(query)
+            assert via.table.same_solutions(base.table)
+            if via.used_view is None:
+                continue
+            speedup = base.outcome.seconds / max(via.outcome.seconds, 1e-9)
+            speedups.append(speedup)
+            rows.append([
+                sofos.lattice[mask].label,
+                via.used_view,
+                f"{base.outcome.seconds * 1e3:.2f}",
+                f"{via.outcome.seconds * 1e3:.2f}",
+                f"{via.outcome.rewrite_seconds * 1e3:.2f}",
+                f"{speedup:.1f}x",
+            ])
+        emit("E7", f"[{name}]\n" + format_table(
+            ("query granularity", "via view", "base ms", "view ms",
+             "rewrite ms", "speedup"), rows,
+            align_right=[False, False, True, True, True, True]))
+        # shape: view answering wins on the meaningful majority of queries
+        winning = sum(1 for s in speedups if s > 1.0)
+        assert winning >= len(speedups) * 0.6
+
+    @pytest.mark.benchmark(group="E7-base-vs-view")
+    @pytest.mark.parametrize("mode", ("base", "view"))
+    def test_benchmark_lubm_total_query(self, benchmark, systems, mode):
+        sofos = systems["lubm"]
+        query = AnalyticalQuery(sofos.facet, 0)
+        if mode == "base":
+            run = lambda: sofos.answer_from_base(query)  # noqa: E731
+        else:
+            run = lambda: sofos.answer(query)  # noqa: E731
+        answer = benchmark(run)
+        assert len(answer.table) == 1
+
+    @pytest.mark.benchmark(group="E7-report")
+    def test_rewrite_overhead_is_small(self, benchmark, systems):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        sofos = systems["lubm"]
+        query = AnalyticalQuery(sofos.facet, 1)
+        answer = sofos.answer(query)
+        assert answer.used_view is not None
+        # rewriting+prep should not dominate execution on the base graph
+        base = sofos.answer_from_base(query)
+        assert answer.outcome.rewrite_seconds < base.outcome.seconds

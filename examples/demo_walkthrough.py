@@ -1,0 +1,76 @@
+"""The full demonstration scenario (paper §4), scripted.
+
+Walks through all five demo steps on one dataset, printing the GUI panels
+the conference participants would see:
+
+1. Configuration        — datasets, facets, templates
+2. Full lattice         — panel ① and per-level statistics
+3. Cost models          — panels ② + ④ (the six-model comparison)
+4. User-selected views  — panel ③ for a manual pick
+5. Hands-on challenge   — strategies vs the exhaustive optimum
+
+Run:  python examples/demo_walkthrough.py [dataset] [scale]
+"""
+
+import sys
+
+from repro import Sofos, UserSelection, create_model, load_dataset
+from repro.console.panels import (panel_configuration, panel_cost_functions,
+                                  panel_full_lattice,
+                                  panel_materialized_lattice,
+                                  panel_performance, panel_workload_detail)
+from repro.core.report import format_table
+from repro.selection import ExhaustiveSelector, GreedySelector
+
+dataset_name = sys.argv[1] if len(sys.argv) > 1 else "dbpedia"
+scale = sys.argv[2] if len(sys.argv) > 2 else "small"
+
+# Step 1: configuration -------------------------------------------------------
+loaded = load_dataset(dataset_name, scale)
+print(panel_configuration(loaded))
+facet = loaded.facet()
+sofos = Sofos(loaded.graph, facet)
+
+# Step 2: exploration of the full lattice -----------------------------------
+profile = sofos.profile()
+print(panel_full_lattice(sofos.lattice, profile))
+
+# Step 3: exploring cost models ------------------------------------------------
+models = [create_model(name) for name in
+          ("random", "triples", "agg_values", "nodes")]
+print(panel_cost_functions(sofos.lattice, profile, models))
+
+workload = sofos.generate_workload(30)
+report = sofos.compare_cost_models(k=2, workload=workload,
+                                   dataset_name=dataset_name)
+print(panel_performance(report))
+
+# Step 4: user-selected views ---------------------------------------------------
+finest = sofos.lattice.finest.label
+selection = sofos.select(selector=UserSelection([finest, "apex"]), k=2)
+catalog = sofos.materialize(selection)
+print(panel_materialized_lattice(sofos.lattice, profile, selection, catalog))
+run = sofos.run_workload(workload)
+print(panel_workload_detail(run, title="user picked finest+apex"))
+sofos.drop_views()
+
+# Step 5: hands-on challenge -----------------------------------------------------
+optimal = ExhaustiveSelector(create_model("agg_values")).select(
+    sofos.lattice, profile, 2, workload)
+rows = []
+for label, selection in [
+        ("optimal", optimal),
+        ("greedy[agg_values]", GreedySelector(
+            create_model("agg_values")).select(sofos.lattice, profile, 2,
+                                               workload)),
+        ("greedy[random]", GreedySelector(
+            create_model("random")).select(sofos.lattice, profile, 2,
+                                           workload))]:
+    catalog = sofos.materialize(selection)
+    challenge_run = sofos.run_workload(workload)
+    rows.append([label, ", ".join(selection.labels),
+                 f"{challenge_run.total_seconds * 1000:.1f}"])
+    sofos.drop_views()
+print(format_table(("strategy", "views", "workload ms"), rows,
+                   align_right=[False, False, True]))
+print("\ndemo complete.")

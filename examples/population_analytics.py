@@ -1,0 +1,69 @@
+"""Example 1.1 from the paper, end to end.
+
+Builds the Figure-1 style knowledge graph (countries, languages, yearly
+populations) and answers the paper's two motivating questions —
+
+  * "in how many countries is French an official language?"
+  * "what is the total amount of French-speaking population?"
+
+— first directly on the graph, then through a materialized view, showing
+that both give the same answer while the view query touches a fraction of
+the data.
+
+Run:  python examples/population_analytics.py
+"""
+
+from repro import (AnalyticalQuery, FilterCondition, QueryEngine, Sofos,
+                   Variable, load_dataset)
+from repro.datasets.dbpedia import DBP
+
+loaded = load_dataset("dbpedia", scale="small")
+graph = loaded.graph
+engine = QueryEngine(graph)
+print(f"knowledge graph: {len(graph)} triples\n")
+
+# -- Question 1: plain SPARQL on the graph (no views needed) --------------
+french = DBP["language/French"]
+count_query = f"""
+PREFIX dbp: <http://dbpedia.org/ontology/>
+SELECT (COUNT(?country) AS ?n) WHERE {{
+  ?country dbp:language {french.n3()} .
+}}
+"""
+n_countries = engine.query(count_query).python_value()
+print(f"countries with French as an official language: {n_countries}")
+
+# -- Question 2: the analytical facet + a view ------------------------------
+facet = loaded.facet("population_by_language_year")
+sofos = Sofos(graph, facet)
+selection, catalog = sofos.select_and_materialize("agg_values", k=2)
+print(f"materialized views: {selection.labels}")
+
+lang = Variable("lang")
+year = Variable("year")
+question = AnalyticalQuery(
+    facet=facet,
+    group_mask=facet.subset_mask((lang,)),
+    filters=(FilterCondition(lang, "=", french),),
+    label="french-speaking population",
+)
+
+via_view = sofos.answer(question)
+via_base = sofos.answer_from_base(question)
+
+print(f"\nquery: {question.describe()}")
+print(f"  via view {via_view.used_view!r}: "
+      f"{via_view.table.rows[0][-1].lexical if via_view.table.rows else 0} "
+      f"people ({via_view.outcome.seconds * 1000:.2f} ms)")
+print(f"  via base graph:        "
+      f"{via_base.table.rows[0][-1].lexical if via_base.table.rows else 0} "
+      f"people ({via_base.outcome.seconds * 1000:.2f} ms)")
+assert via_view.table.same_solutions(via_base.table), "answers must agree!"
+print("  both paths agree.")
+
+# -- The multi-language caveat the paper hints at -------------------------
+print(
+    "\nnote: countries with several official languages contribute their\n"
+    "population once per language — the facet measures language reach,\n"
+    "not a partition of world population (the classic KG aggregation\n"
+    "subtlety SOFOS makes visible).")

@@ -1,0 +1,57 @@
+"""SOFOS reproduction: materialized view selection on knowledge graphs.
+
+Reproduces *Sofos: Demonstrating the Challenges of Materialized View
+Selection on Knowledge Graphs* (Troullinou, Kondylakis, Lissandrini,
+Mottin; SIGMOD 2021 demo) as a self-contained Python library: an RDF
+store, a SPARQL analytical engine, view lattices over analytical facets,
+six cost models, selection strategies, MARVEL-style view materialization,
+and query rewriting — plus the three demo datasets and the benchmark
+harness regenerating every demonstration experiment.
+
+Quick start::
+
+    from repro import Sofos, load_dataset
+
+    loaded = load_dataset("dbpedia", "small")
+    sofos = Sofos(loaded.graph, loaded.facet("population_by_language_year"))
+    report = sofos.compare_cost_models(k=2, dataset_name="dbpedia")
+    print(report.render())
+"""
+
+from .core.sofos import DEFAULT_MODELS, Sofos
+from .core.metrics import QueryOutcome, WorkloadRun
+from .core.online import Answer
+from .core.report import ComparisonReport, ComparisonRow
+from .cost import AggregatedValuesCost, CostModel, LatticeProfile, \
+    LearnedCost, NodeCountCost, RandomCost, TripleCountCost, \
+    UserDefinedCost, create_model, model_names
+from .cube import AnalyticalFacet, AnalyticalQuery, FilterCondition, \
+    ViewDefinition, ViewLattice
+from .datasets import load_dataset
+from .errors import ReproError
+from .rdf import Dataset, Graph, IRI, Literal, Namespace, Triple, Variable, \
+    parse_ntriples, parse_turtle, serialize_ntriples, serialize_turtle, \
+    typed_literal
+from .selection import AnnealingSelector, ExhaustiveSelector, \
+    GreedySelector, SelectionResult, SpaceBudgetSelector, UserSelection
+from .sparql import QueryEngine, ResultTable, parse_query
+from .views import ViewCatalog, ViewRouter, rewrite_on_view
+from .workload import WorkloadConfig, WorkloadGenerator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregatedValuesCost", "AnalyticalFacet", "AnalyticalQuery",
+    "AnnealingSelector", "Answer",
+    "ComparisonReport", "ComparisonRow", "CostModel", "DEFAULT_MODELS",
+    "Dataset", "ExhaustiveSelector", "FilterCondition", "Graph",
+    "GreedySelector", "IRI", "LatticeProfile", "LearnedCost", "Literal",
+    "Namespace", "NodeCountCost", "QueryEngine", "QueryOutcome",
+    "RandomCost", "ReproError", "ResultTable", "SelectionResult", "Sofos",
+    "SpaceBudgetSelector", "Triple", "TripleCountCost", "UserDefinedCost",
+    "UserSelection", "Variable", "ViewCatalog", "ViewDefinition",
+    "ViewLattice", "ViewRouter", "WorkloadConfig", "WorkloadGenerator",
+    "WorkloadRun", "create_model", "load_dataset", "model_names",
+    "parse_ntriples", "parse_query", "parse_turtle", "rewrite_on_view",
+    "serialize_ntriples", "serialize_turtle", "typed_literal",
+]

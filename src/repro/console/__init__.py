@@ -1,0 +1,13 @@
+"""Terminal rendering of the demo GUI (Figure 3) and the CLI walkthrough."""
+
+from .app import build_parser, main
+from .lattice_render import render_lattice
+from .panels import panel_configuration, panel_cost_functions, \
+    panel_full_lattice, panel_materialized_lattice, panel_performance, \
+    panel_view_data, panel_workload_detail
+
+__all__ = [
+    "build_parser", "main", "panel_configuration", "panel_cost_functions",
+    "panel_full_lattice", "panel_materialized_lattice", "panel_performance",
+    "panel_view_data", "panel_workload_detail", "render_lattice",
+]

@@ -1,0 +1,185 @@
+"""The ``sofos-demo`` command-line walkthrough.
+
+Reproduces the demonstration scenario (paper §4) without the web GUI::
+
+    sofos-demo configuration
+    sofos-demo lattice   --dataset dbpedia --facet population_cube
+    sofos-demo compare   --dataset swdf --k 2
+    sofos-demo views     --dataset dbpedia --select lang+year apex
+    sofos-demo challenge --dataset dbpedia --k 2
+
+Every subcommand prints the corresponding GUI panel(s).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from ..core.report import format_table
+from ..core.sofos import DEFAULT_MODELS, Sofos
+from ..cost.base import create_model
+from ..datasets.catalog import DATASET_NAMES, SCALES, load_dataset
+from ..selection.exhaustive import ExhaustiveSelector
+from ..selection.greedy import GreedySelector
+from ..selection.user import UserSelection
+from .panels import panel_configuration, panel_cost_functions, \
+    panel_full_lattice, panel_materialized_lattice, panel_performance, \
+    panel_query_characteristics, panel_view_data, panel_workload_detail
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sofos-demo",
+        description="SOFOS demonstration walkthrough (SIGMOD 2021 demo "
+                    "reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--dataset", choices=DATASET_NAMES, default="dbpedia")
+        p.add_argument("--facet", default=None,
+                       help="facet name (default: the dataset's first facet)")
+        p.add_argument("--scale", choices=SCALES, default="small")
+        p.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("configuration",
+                   help="list datasets, facets, and templates")
+
+    p = sub.add_parser("lattice", help="explore the full lattice (panel ①/②)")
+    common(p)
+
+    p = sub.add_parser("compare",
+                       help="compare all cost models (panels ③/④)")
+    common(p)
+    p.add_argument("--k", type=int, default=2)
+    p.add_argument("--queries", type=int, default=30)
+    p.add_argument("--models", nargs="*", default=list(DEFAULT_MODELS))
+
+    p = sub.add_parser("views", help="materialize a user selection")
+    common(p)
+    p.add_argument("--select", nargs="+", required=True,
+                   help="view labels, e.g. lang+year apex")
+    p.add_argument("--queries", type=int, default=30)
+    p.add_argument("--inspect", default=None,
+                   help="also dump the stored RDF of this view label")
+
+    p = sub.add_parser("challenge",
+                       help="hands-on challenge: strategies vs the optimum")
+    common(p)
+    p.add_argument("--k", type=int, default=2)
+    p.add_argument("--queries", type=int, default=30)
+
+    p = sub.add_parser("persist",
+                       help="select, materialize, and save the expanded "
+                            "dataset to disk; then reload and verify")
+    common(p)
+    p.add_argument("--k", type=int, default=2)
+    p.add_argument("--out", required=True, help="output directory")
+    return parser
+
+
+def _setup(args: argparse.Namespace) -> Sofos:
+    loaded = load_dataset(args.dataset, args.scale)
+    facet = loaded.facet(args.facet)
+    print(panel_configuration(loaded))
+    return Sofos(loaded.graph, facet, seed=args.seed)
+
+
+def _cmd_lattice(args: argparse.Namespace) -> None:
+    sofos = _setup(args)
+    profile = sofos.profile()
+    print(panel_full_lattice(sofos.lattice, profile))
+    models = [create_model(name) for name in
+              ("random", "triples", "agg_values", "nodes")]
+    print(panel_cost_functions(sofos.lattice, profile, models))
+
+
+def _cmd_compare(args: argparse.Namespace) -> None:
+    sofos = _setup(args)
+    workload = sofos.generate_workload(args.queries)
+    report = sofos.compare_cost_models(args.models, k=args.k,
+                                       workload=workload,
+                                       dataset_name=args.dataset)
+    print(panel_performance(report))
+
+
+def _cmd_views(args: argparse.Namespace) -> None:
+    sofos = _setup(args)
+    selection = sofos.select(selector=UserSelection(args.select),
+                             k=len(args.select))
+    catalog = sofos.materialize(selection)
+    print(panel_materialized_lattice(sofos.lattice, sofos.profile(),
+                                     selection, catalog))
+    workload = sofos.generate_workload(args.queries)
+    run = sofos.run_workload(workload)
+    print(panel_workload_detail(run, title="user selection"))
+    print(panel_query_characteristics(run))
+    if args.inspect:
+        print(panel_view_data(catalog, args.inspect))
+
+
+def _cmd_challenge(args: argparse.Namespace) -> None:
+    sofos = _setup(args)
+    workload = sofos.generate_workload(args.queries)
+    agg = create_model("agg_values")
+    optimal = ExhaustiveSelector(agg).select(
+        sofos.lattice, sofos.profile(), args.k, workload)
+    rows = []
+    contenders = [("optimal (exhaustive)", optimal)]
+    for name in DEFAULT_MODELS:
+        selector = GreedySelector(create_model(name), seed=args.seed)
+        contenders.append(
+            (f"greedy[{name}]",
+             selector.select(sofos.lattice, sofos.profile(), args.k,
+                             workload)))
+    for label, selection in contenders:
+        catalog = sofos.materialize(selection)
+        run = sofos.run_workload(workload)
+        rows.append([label, ", ".join(selection.labels),
+                     f"{run.total_seconds * 1000:.1f}",
+                     f"{catalog.storage_amplification():.3f}"])
+        sofos.drop_views()
+    print(format_table(
+        ("strategy", "views", "workload ms", "amplification"), rows,
+        align_right=[False, False, True, True]))
+
+
+def _cmd_persist(args: argparse.Namespace) -> None:
+    from ..core.online import OnlineModule
+    from ..views.persistence import load_expanded, save_expanded
+    sofos = _setup(args)
+    selection, catalog = sofos.select_and_materialize("agg_values", k=args.k)
+    save_expanded(catalog, args.out)
+    print(f"saved {len(catalog)} views "
+          f"({catalog.total_triples} extra triples) to {args.out}")
+    facet = sofos.facet
+    dataset, loaded = load_expanded(args.out, facet)
+    online = OnlineModule(loaded)
+    workload = sofos.generate_workload(10)
+    hits = sum(1 for q in workload if online.answer(q).used_view)
+    print(f"reloaded and verified: {len(loaded)} views answer "
+          f"{hits}/{len(workload)} workload queries")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "configuration":
+        print(panel_configuration())
+    elif args.command == "lattice":
+        _cmd_lattice(args)
+    elif args.command == "compare":
+        _cmd_compare(args)
+    elif args.command == "views":
+        _cmd_views(args)
+    elif args.command == "challenge":
+        _cmd_challenge(args)
+    elif args.command == "persist":
+        _cmd_persist(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

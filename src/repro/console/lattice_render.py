@@ -1,0 +1,52 @@
+"""ASCII rendering of view lattices.
+
+The demo GUI's central element (Figure 3, panels ① and ③) is the lattice
+drawing with per-node statistics and highlighting of materialized nodes.
+This module produces the same content as centered, level-by-level text.
+"""
+
+from __future__ import annotations
+
+from typing import Collection
+
+from ..cube.lattice import ViewLattice
+from ..cost.profiler import LatticeProfile
+
+__all__ = ["render_lattice"]
+
+
+def _node_text(label: str, annotation: str, selected: bool) -> str:
+    mark = "*" if selected else " "
+    if annotation:
+        return f"[{mark}{label} | {annotation}]"
+    return f"[{mark}{label}]"
+
+
+def render_lattice(lattice: ViewLattice,
+                   profile: LatticeProfile | None = None,
+                   selected_masks: Collection[int] = (),
+                   width: int = 100) -> str:
+    """Render the lattice top-down (finest view first, apex last).
+
+    Materialized/selected views are starred; with a profile, each node
+    shows its group count.
+    """
+    selected = set(selected_masks)
+    lines: list[str] = []
+    levels = lattice.levels()
+    for level in reversed(range(len(levels))):
+        nodes = []
+        for view in levels[level]:
+            annotation = ""
+            if profile is not None:
+                annotation = f"{profile.rows(view)}g"
+            nodes.append(_node_text(view.label, annotation,
+                                    view.mask in selected))
+        row = "   ".join(nodes)
+        prefix = f"L{level}  "
+        body = row.center(max(width - len(prefix), len(row)))
+        lines.append(prefix + body.rstrip())
+        if level:
+            lines.append("")
+    legend = "(* = materialized; Ng = groups per view)"
+    return "\n".join(lines + [legend])

@@ -1,0 +1,181 @@
+"""The four GUI panels of Figure 3, rendered as text.
+
+① full-lattice view  ② cost-function selection  ③ materialized-lattice
+view  ④ query-performance analyzer — plus the configuration screen and
+the per-view data inspector the demo walkthrough uses.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..rdf.namespace import default_prefixes
+from ..rdf.turtle import serialize_turtle
+from ..cube.lattice import ViewLattice
+from ..cost.base import CostModel
+from ..cost.profiler import LatticeProfile
+from ..core.metrics import WorkloadRun
+from ..core.report import ComparisonReport, format_table
+from ..datasets.catalog import DATASET_NAMES, LoadedDataset, dataset_spec
+from ..selection.plans import SelectionResult
+from ..views.catalog import ViewCatalog
+from .lattice_render import render_lattice
+
+__all__ = [
+    "panel_configuration", "panel_full_lattice", "panel_cost_functions",
+    "panel_materialized_lattice", "panel_performance",
+    "panel_query_characteristics", "panel_view_data",
+]
+
+
+def _section(title: str, body: str) -> str:
+    bar = "=" * max(len(title), 8)
+    return f"{title}\n{bar}\n{body}\n"
+
+
+def panel_configuration(loaded: LoadedDataset | None = None) -> str:
+    """The configuration step: datasets, facets, and their templates."""
+    if loaded is None:
+        lines = ["Available datasets:"]
+        for name in DATASET_NAMES:
+            spec = dataset_spec(name)
+            lines.append(f"  {name}: {spec.description}")
+            for facet in spec.facets:
+                lines.append(f"      facet {facet.name}: {facet.description}")
+        return _section("Configuration", "\n".join(lines))
+    lines = [f"dataset: {loaded.name} (scale={loaded.scale})",
+             f"triples: {len(loaded.graph)}",
+             ""]
+    for name, facet in sorted(loaded.facets.items()):
+        dims = ", ".join(f"?{v.name}" for v in facet.grouping_variables)
+        lines.append(f"facet {name} — {facet.description}")
+        lines.append(f"  X = [{dims}]   agg = {facet.aggregate.name}   "
+                     f"lattice = {facet.lattice_size} views")
+    return _section("Configuration", "\n".join(lines))
+
+
+def panel_full_lattice(lattice: ViewLattice, profile: LatticeProfile) -> str:
+    """① the full materialized lattice with per-level statistics."""
+    drawing = render_lattice(lattice, profile)
+    rows = []
+    for level_profiles in profile.by_level():
+        if not level_profiles:
+            continue
+        level = level_profiles[0].level
+        rows.append([
+            str(level),
+            str(len(level_profiles)),
+            str(sum(p.rows for p in level_profiles)),
+            str(sum(p.triples for p in level_profiles)),
+            f"{sum(p.eval_seconds for p in level_profiles) * 1000:.1f}",
+        ])
+    table = format_table(
+        ("level", "views", "groups", "triples", "build ms"), rows,
+        align_right=[True] * 5)
+    amplification = profile.full_lattice_amplification()
+    footer = (f"\nfull lattice: {profile.total_triples()} extra triples "
+              f"({amplification:.2f}x storage amplification) — why "
+              "materializing everything is impractical")
+    return _section("① Full lattice view", drawing + "\n\n" + table + footer)
+
+
+def panel_cost_functions(lattice: ViewLattice, profile: LatticeProfile,
+                         models: Sequence[CostModel]) -> str:
+    """② per-view costs under each cost model."""
+    for model in models:
+        model.prepare(profile)
+    headers = ["view"] + [m.describe() for m in models]
+    rows = []
+    for view in lattice:
+        cells = [view.label]
+        for model in models:
+            cells.append(f"{model.cost(view, profile):.1f}")
+        rows.append(cells)
+    base = ["(base graph)"] + [f"{m.base_cost(profile):.1f}" for m in models]
+    rows.append(base)
+    table = format_table(headers, rows,
+                         align_right=[False] + [True] * len(models))
+    return _section("② Cost function selection", table)
+
+
+def panel_materialized_lattice(lattice: ViewLattice, profile: LatticeProfile,
+                               selection: SelectionResult,
+                               catalog: ViewCatalog) -> str:
+    """③ the lattice with the selected views starred + storage report."""
+    from ..rdf.memory import graph_memory_bytes
+    drawing = render_lattice(lattice, profile,
+                             selected_masks=[v.mask for v in selection.views])
+    rows = []
+    view_bytes = 0
+    for entry in catalog:
+        graph = catalog.graph_of(entry.definition)
+        kib = graph_memory_bytes(graph) / 1024.0
+        view_bytes += kib
+        rows.append([entry.label, str(entry.groups), str(entry.triples),
+                     str(entry.nodes), f"{kib:.1f}",
+                     f"{entry.build_seconds * 1000:.1f}"])
+    table = format_table(
+        ("view", "groups", "triples", "nodes", "mem KiB", "build ms"),
+        rows, align_right=[False] + [True] * 5)
+    base_kib = graph_memory_bytes(catalog.dataset.default) / 1024.0
+    footer = (f"\nselection: {selection.describe()}\n"
+              f"storage amplification: {catalog.storage_amplification():.3f}x"
+              f"  (base graph {base_kib:.0f} KiB + views {view_bytes:.0f} KiB)")
+    return _section("③ Materialized lattice view",
+                    drawing + "\n\n" + table + footer)
+
+
+def panel_performance(report: ComparisonReport) -> str:
+    """④ the query-performance analyzer across cost models."""
+    return _section("④ Query performance analyzer", report.render())
+
+
+def panel_workload_detail(run: WorkloadRun, title: str = "workload") -> str:
+    """Per-view routing breakdown of one workload run."""
+    rows = []
+    for view_label, count in sorted(run.by_view().items(),
+                                    key=lambda kv: -kv[1]):
+        rows.append([view_label if view_label is not None else "(base graph)",
+                     str(count)])
+    table = format_table(("answered by", "queries"), rows,
+                         align_right=[False, True])
+    summary = (f"total {run.total_seconds * 1000:.1f} ms over {len(run)} "
+               f"queries, hit rate {run.hit_rate * 100:.0f}%")
+    return _section(f"Workload detail: {title}", summary + "\n" + table)
+
+
+def panel_query_characteristics(run: WorkloadRun,
+                                max_rows: int = 25) -> str:
+    """Per-query characteristics table (grouping level, filters, routing)."""
+    rows = []
+    for record in run.characteristics()[:max_rows]:
+        rows.append([
+            str(record["query"])[:60],
+            str(record["group_level"]) if record["group_level"] is not None
+            else "-",
+            str(record["filters"]),
+            str(record["answered_by"]),
+            str(record["rows"]),
+            f"{record['ms']:.2f}",
+        ])
+    table = format_table(
+        ("query", "level", "filters", "answered by", "rows", "ms"), rows,
+        align_right=[False, True, True, False, True, True])
+    return _section("Query characteristics", table)
+
+
+def panel_view_data(catalog: ViewCatalog, label: str,
+                    max_triples: int = 30) -> str:
+    """The node inspector: the RDF stored for one materialized view."""
+    for entry in catalog:
+        if entry.label == label:
+            graph = catalog.graph_of(entry.definition)
+            text = serialize_turtle(graph, default_prefixes())
+            lines = text.splitlines()
+            if len(lines) > max_triples:
+                lines = lines[:max_triples] + [
+                    f"# ... ({len(graph)} triples total)"]
+            return _section(f"View data: {label}", "\n".join(lines))
+    available = ", ".join(e.label for e in catalog) or "(none)"
+    return _section(f"View data: {label}",
+                    f"view not materialized; available: {available}")

@@ -1,0 +1,97 @@
+"""The offline module ① : selective view materialization.
+
+Owns the lattice and its profile for one (graph, facet) pair, runs a
+selection strategy, and materializes the chosen views into the dataset's
+named graphs.  Profiles are computed once and reused across every cost
+model — exactly how the demo explores the same full lattice under
+different cost functions.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+from ..rdf.dataset import Dataset
+from ..cube.facet import AnalyticalFacet
+from ..cube.lattice import ViewLattice
+from ..cube.query import AnalyticalQuery
+from ..cost.profiler import LatticeProfile
+from ..selection.plans import SelectionResult
+from ..sparql.engine import QueryEngine
+from ..views.catalog import ViewCatalog
+from .metrics import Timer
+
+__all__ = ["Selector", "OfflineModule"]
+
+
+class Selector(Protocol):
+    """Anything that picks views: greedy, exhaustive, budget, or a user."""
+
+    def select(self, lattice: ViewLattice, profile: LatticeProfile, k: int,
+               workload: Sequence[AnalyticalQuery] | None = None
+               ) -> SelectionResult: ...
+
+
+class OfflineModule:
+    """View selection + materialization over one dataset and facet."""
+
+    def __init__(self, dataset: Dataset, facet: AnalyticalFacet) -> None:
+        self._dataset = dataset
+        self._facet = facet
+        self._engine = QueryEngine(dataset.default)
+        self._lattice = ViewLattice(facet)
+        self._profile: LatticeProfile | None = None
+
+    @property
+    def dataset(self) -> Dataset:
+        return self._dataset
+
+    @property
+    def facet(self) -> AnalyticalFacet:
+        return self._facet
+
+    @property
+    def lattice(self) -> ViewLattice:
+        return self._lattice
+
+    @property
+    def engine(self) -> QueryEngine:
+        """The engine over the base graph G."""
+        return self._engine
+
+    def profile(self, refresh: bool = False) -> LatticeProfile:
+        """The (cached) full-lattice profile."""
+        if self._profile is None or refresh:
+            self._profile = LatticeProfile.profile(self._lattice, self._engine)
+        return self._profile
+
+    def select(self, selector: Selector, k: int,
+               workload: Sequence[AnalyticalQuery] | None = None
+               ) -> SelectionResult:
+        """Run a selection strategy against the cached profile."""
+        return selector.select(self._lattice, self.profile(), k, workload)
+
+    def materialize(self, selection: SelectionResult,
+                    catalog: ViewCatalog | None = None) -> ViewCatalog:
+        """Materialize a selection into (a fresh or given) catalog.
+
+        Passing an existing catalog lets callers accumulate selections;
+        already-materialized views are skipped, not rebuilt.
+        """
+        if catalog is None:
+            catalog = ViewCatalog(self._dataset, self._engine)
+        for view in selection.views:
+            if view not in catalog:
+                catalog.materialize(view)
+        return catalog
+
+    def materialize_full_lattice(self) -> tuple[ViewCatalog, float]:
+        """Materialize *every* view (the demo's full-lattice exploration).
+
+        Returns the catalog plus total build seconds.
+        """
+        catalog = ViewCatalog(self._dataset, self._engine)
+        with Timer() as timer:
+            for view in self._lattice:
+                catalog.materialize(view)
+        return catalog, timer.seconds

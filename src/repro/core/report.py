@@ -1,0 +1,112 @@
+"""Comparison reports: the numbers behind the demo's analyzer panel.
+
+A :class:`ComparisonReport` holds one :class:`ComparisonRow` per cost
+model (plus the no-views baseline) for a fixed dataset/facet/k, and
+renders the table the demonstration contrasts: workload time, storage
+amplification, selection and materialization cost, and view hit-rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+__all__ = ["ComparisonRow", "ComparisonReport", "format_table"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]],
+                 align_right: Sequence[bool] | None = None) -> str:
+    """Render an aligned text table (shared by reports and console panels)."""
+    if align_right is None:
+        align_right = [False] * len(headers)
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = []
+        for cell, width, right in zip(cells, widths, align_right):
+            parts.append(cell.rjust(width) if right else cell.ljust(width))
+        return " | ".join(parts)
+
+    lines = [render_row(headers),
+             "-+-".join("-" * w for w in widths)]
+    lines.extend(render_row(row) for row in rows)
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One cost model's end-to-end outcome on a workload."""
+
+    model: str
+    selected_views: tuple[str, ...]
+    select_seconds: float
+    materialize_seconds: float
+    storage_triples: int
+    storage_amplification: float
+    workload_seconds: float
+    mean_query_seconds: float
+    hit_rate: float
+    speedup_vs_base: float
+
+    def cells(self) -> list[str]:
+        return [
+            self.model,
+            str(len(self.selected_views)),
+            f"{self.select_seconds * 1000:.1f}",
+            f"{self.materialize_seconds * 1000:.1f}",
+            str(self.storage_triples),
+            f"{self.storage_amplification:.3f}",
+            f"{self.workload_seconds * 1000:.1f}",
+            f"{self.mean_query_seconds * 1000:.2f}",
+            f"{self.hit_rate * 100:.0f}%",
+            f"{self.speedup_vs_base:.2f}x",
+        ]
+
+
+_HEADERS = ("model", "k", "select ms", "mat. ms", "extra triples",
+            "amplif.", "workload ms", "mean q ms", "hit rate", "speedup")
+
+
+@dataclass
+class ComparisonReport:
+    """All cost models compared on one dataset/facet/budget."""
+
+    dataset: str
+    facet: str
+    k: int
+    workload_size: int
+    base_workload_seconds: float
+    rows: list[ComparisonRow] = field(default_factory=list)
+
+    def add(self, row: ComparisonRow) -> None:
+        self.rows.append(row)
+
+    def row(self, model: str) -> Optional[ComparisonRow]:
+        for row in self.rows:
+            if row.model == model:
+                return row
+        return None
+
+    def best_by_time(self) -> Optional[ComparisonRow]:
+        return min(self.rows, key=lambda r: r.workload_seconds, default=None)
+
+    def best_by_space(self) -> Optional[ComparisonRow]:
+        return min(self.rows, key=lambda r: r.storage_triples, default=None)
+
+    def render(self) -> str:
+        header = (f"dataset={self.dataset} facet={self.facet} k={self.k} "
+                  f"workload={self.workload_size} queries "
+                  f"(base: {self.base_workload_seconds * 1000:.1f} ms)")
+        table = format_table(
+            _HEADERS,
+            [row.cells() for row in self.rows],
+            align_right=[False] + [True] * (len(_HEADERS) - 1),
+        )
+        return header + "\n" + table
+
+    def __repr__(self) -> str:
+        return (f"<ComparisonReport {self.dataset}/{self.facet} k={self.k} "
+                f"{len(self.rows)} models>")

@@ -1,0 +1,76 @@
+"""The cost-model interface and registry.
+
+A cost model (paper §3) is a function ``C : V(F) → R+`` predicting how
+expensive answering queries from a view will be; the greedy selector
+compares these predictions against ``base_cost`` — the predicted expense
+of answering from the raw graph — to compute the benefit of materializing
+each candidate.  All six paper models implement this interface and are
+discoverable by name through the registry.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, ClassVar, Type
+
+from ..errors import CostModelError
+from ..cube.view import ViewDefinition
+from .profiler import LatticeProfile
+
+__all__ = ["CostModel", "register_model", "create_model", "model_names"]
+
+
+class CostModel(ABC):
+    """Predicts the cost of answering queries from a given view."""
+
+    #: Registry key; subclasses must override.
+    name: ClassVar[str] = ""
+
+    @abstractmethod
+    def cost(self, view: ViewDefinition, profile: LatticeProfile) -> float:
+        """Predicted cost of answering a query from ``view``."""
+
+    def base_cost(self, profile: LatticeProfile) -> float:
+        """Predicted cost of answering from the raw graph (no view).
+
+        The default is the size-like quantity of the base profile matching
+        the model's unit; models with their own notion override this.
+        """
+        return float(profile.base.rows)
+
+    def prepare(self, profile: LatticeProfile) -> None:
+        """Hook called once before a selection run (e.g. model fitting)."""
+
+    def describe(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"<CostModel {self.describe()}>"
+
+
+_REGISTRY: dict[str, Type[CostModel]] = {}
+
+
+def register_model(cls: Type[CostModel]) -> Type[CostModel]:
+    """Class decorator adding a cost model to the registry."""
+    if not cls.name:
+        raise CostModelError(f"{cls.__name__} has no registry name")
+    if cls.name in _REGISTRY:
+        raise CostModelError(f"duplicate cost model name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def create_model(name: str, *args, **kwargs) -> CostModel:
+    """Instantiate a registered model by name."""
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        raise CostModelError(
+            f"unknown cost model {name!r}; available: "
+            + ", ".join(sorted(_REGISTRY)))
+    return cls(*args, **kwargs)
+
+
+def model_names() -> list[str]:
+    """All registered model names, sorted."""
+    return sorted(_REGISTRY)

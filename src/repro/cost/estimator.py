@@ -1,0 +1,130 @@
+"""Statistics-only cardinality estimation.
+
+The learned cost model must not evaluate the view it is pricing (that
+would defeat its purpose), so its features come from graph-level
+statistics alone.  This module derives the two estimate families the
+encoder needs: per-pattern cardinalities and per-dimension value-domain
+sizes.
+"""
+
+from __future__ import annotations
+
+from ..rdf.stats import GraphStatistics
+from ..rdf.terms import IRI, Variable
+from ..rdf.triples import TriplePattern
+from ..cube.facet import AnalyticalFacet
+from ..cube.view import ViewDefinition
+from ..sparql.ast import GroupPattern
+
+__all__ = [
+    "pattern_frequencies", "dimension_domains", "estimate_group_count",
+    "estimate_binding_count",
+]
+
+_CAP = 1e15
+
+
+def pattern_frequencies(pattern: GroupPattern, stats: GraphStatistics
+                        ) -> list[int]:
+    """Triple frequency of each pattern's predicate (variable predicate →
+    whole graph)."""
+    out: list[int] = []
+    for tp in pattern.triple_patterns():
+        if isinstance(tp.p, IRI):
+            out.append(stats.predicate_frequency(tp.p))
+        else:
+            out.append(stats.triple_count)
+    return out
+
+
+def dimension_domains(facet: AnalyticalFacet, stats: GraphStatistics
+                      ) -> dict[Variable, int]:
+    """Estimated distinct-value domain of each grouping variable.
+
+    A variable appearing as the object of predicate p has at most
+    ``distinct_objects(p)`` values; as a subject, ``distinct_subjects(p)``.
+    When a variable occurs in several patterns the tightest bound wins;
+    variables never seen in a concrete-predicate pattern fall back to the
+    graph's node count.
+    """
+    domains: dict[Variable, int] = {}
+    fallback = max(stats.node_count, 1)
+    for var in facet.grouping_variables:
+        domains[var] = fallback
+    for tp in facet.pattern.triple_patterns():
+        if not isinstance(tp.p, IRI):
+            continue
+        prof = stats.predicates.get(tp.p)
+        if prof is None:
+            continue
+        if isinstance(tp.o, Variable) and tp.o in domains:
+            domains[tp.o] = min(domains[tp.o], max(prof.distinct_objects, 1))
+        if isinstance(tp.s, Variable) and tp.s in domains:
+            domains[tp.s] = min(domains[tp.s], max(prof.distinct_subjects, 1))
+    return domains
+
+
+def estimate_group_count(view: ViewDefinition, stats: GraphStatistics
+                         ) -> float:
+    """Upper-bound estimate of the view's group count.
+
+    Independence-assumption product of the dimension domains, capped; the
+    apex view has exactly one group.
+    """
+    if view.is_apex:
+        return 1.0
+    domains = dimension_domains(view.facet, stats)
+    estimate = 1.0
+    for var in view.variables:
+        estimate *= domains[var]
+        if estimate > _CAP:
+            return _CAP
+    return estimate
+
+
+def estimate_binding_count(facet: AnalyticalFacet, stats: GraphStatistics
+                           ) -> float:
+    """Crude upper bound on the bindings of the facet pattern P.
+
+    Product of per-pattern frequencies divided by the join-sharing factor
+    (each shared variable position divides by its domain once) — the
+    classic System-R style independence estimate, good enough as a model
+    feature.
+    """
+    patterns = facet.pattern.triple_patterns()
+    if not patterns:
+        return 0.0
+    frequencies = pattern_frequencies(facet.pattern, stats)
+    estimate = 1.0
+    for f in frequencies:
+        estimate *= max(f, 1)
+        if estimate > _CAP:
+            break
+    seen: set[Variable] = set()
+    domains = _all_variable_domains(patterns, stats)
+    for tp in patterns:
+        for position in tp:
+            if isinstance(position, Variable):
+                if position in seen:
+                    estimate /= max(domains.get(position, 1), 1)
+                seen.add(position)
+    return min(max(estimate, 0.0), _CAP)
+
+
+def _all_variable_domains(patterns: list[TriplePattern],
+                          stats: GraphStatistics) -> dict[Variable, int]:
+    domains: dict[Variable, int] = {}
+    fallback = max(stats.node_count, 1)
+    for tp in patterns:
+        if not isinstance(tp.p, IRI):
+            continue
+        prof = stats.predicates.get(tp.p)
+        if prof is None:
+            continue
+        if isinstance(tp.o, Variable):
+            current = domains.get(tp.o, fallback)
+            domains[tp.o] = min(current, max(prof.distinct_objects, 1))
+        if isinstance(tp.s, Variable):
+            current = domains.get(tp.s, fallback)
+            domains[tp.s] = min(current, max(prof.distinct_subjects, 1))
+    return domains

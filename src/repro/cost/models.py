@@ -1,0 +1,107 @@
+"""The paper's cost models 1-4 and 6 (the learned model 5 lives in
+:mod:`repro.cost.learned`).
+
+1. **Random** — ``C(V) = 1``.  Every view costs the same, so benefit-driven
+   selection degenerates into picking a random k-subset (the greedy
+   selector breaks ties with its seeded RNG, which is exactly the paper's
+   framing of the random baseline as a constant cost function).
+2. **Number of triples** — ``C(V) = |G_V|``: the triples of the view's RDF
+   encoding, the direct analogue of relational tuple counting.
+3. **Number of aggregated values** — ``C(V) = |V(G)|``: the result rows of
+   the view query.
+4. **Number of nodes** — ``C(V) = |I_V ∪ B_V ∪ L_V|``: distinct node
+   values of the view graph.
+6. **User defined** — any callable ``(view, profile) → float``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..cube.view import ViewDefinition
+from .base import CostModel, register_model
+from .profiler import LatticeProfile
+
+__all__ = ["RandomCost", "TripleCountCost", "AggregatedValuesCost",
+           "NodeCountCost", "UserDefinedCost"]
+
+
+@register_model
+class RandomCost(CostModel):
+    """Paper model (1): the constant cost function."""
+
+    name = "random"
+
+    def cost(self, view: ViewDefinition, profile: LatticeProfile) -> float:
+        return 1.0
+
+    def base_cost(self, profile: LatticeProfile) -> float:
+        return 1.0
+
+
+@register_model
+class TripleCountCost(CostModel):
+    """Paper model (2): relational tuple counting adapted to RDF."""
+
+    name = "triples"
+
+    def cost(self, view: ViewDefinition, profile: LatticeProfile) -> float:
+        return float(profile.triples(view))
+
+    def base_cost(self, profile: LatticeProfile) -> float:
+        return float(profile.base.triples)
+
+
+@register_model
+class AggregatedValuesCost(CostModel):
+    """Paper model (3): the number of aggregated values |V(G)|."""
+
+    name = "agg_values"
+
+    def cost(self, view: ViewDefinition, profile: LatticeProfile) -> float:
+        return float(profile.rows(view))
+
+    def base_cost(self, profile: LatticeProfile) -> float:
+        return float(profile.base.rows)
+
+
+@register_model
+class NodeCountCost(CostModel):
+    """Paper model (4): the number of distinct node values of the view."""
+
+    name = "nodes"
+
+    def cost(self, view: ViewDefinition, profile: LatticeProfile) -> float:
+        return float(profile.nodes(view))
+
+    def base_cost(self, profile: LatticeProfile) -> float:
+        return float(profile.base.nodes)
+
+
+@register_model
+class UserDefinedCost(CostModel):
+    """Paper model (6): the user acts as the cost function.
+
+    Either pass a callable, or use
+    :class:`~repro.selection.user.UserSelection` to hand-pick views
+    directly (the demo's interactive mode).
+    """
+
+    name = "user"
+
+    def __init__(self, fn: Callable[[ViewDefinition, LatticeProfile], float],
+                 base: float | None = None, label: str = "user") -> None:
+        self._fn = fn
+        self._base = base
+        self._label = label
+
+    def cost(self, view: ViewDefinition, profile: LatticeProfile) -> float:
+        return float(self._fn(view, profile))
+
+    def base_cost(self, profile: LatticeProfile) -> float:
+        if self._base is not None:
+            return self._base
+        return float(profile.base.rows)
+
+    def describe(self) -> str:
+        return self._label

@@ -1,0 +1,120 @@
+"""The view lattice V(F): all 2^|X| aggregation granularities of a facet.
+
+The lattice is the search space of view selection (paper §3): its nodes
+are :class:`~repro.cube.view.ViewDefinition` objects ordered by subset
+inclusion of their grouping variables.  ``v`` is an *ancestor* of ``w``
+when v's variables ⊇ w's — i.e. v is finer-grained and can answer w by
+roll-up.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..errors import CubeError
+from ..rdf.terms import Variable
+from .facet import AnalyticalFacet
+from .view import ViewDefinition
+
+__all__ = ["ViewLattice"]
+
+
+class ViewLattice:
+    """The powerset lattice of a facet's grouping variables."""
+
+    def __init__(self, facet: AnalyticalFacet, max_dimensions: int = 16) -> None:
+        if facet.dimension_count > max_dimensions:
+            raise CubeError(
+                f"facet {facet.name!r} has {facet.dimension_count} grouping "
+                f"variables; a {2 ** facet.dimension_count}-node lattice "
+                "exceeds the safety limit (raise max_dimensions to force)")
+        self._facet = facet
+        self._views = [ViewDefinition(facet, mask)
+                       for mask in range(facet.lattice_size)]
+
+    @property
+    def facet(self) -> AnalyticalFacet:
+        return self._facet
+
+    def __len__(self) -> int:
+        return len(self._views)
+
+    def __iter__(self) -> Iterator[ViewDefinition]:
+        """Iterate views in mask order (deterministic)."""
+        return iter(self._views)
+
+    def __getitem__(self, mask: int) -> ViewDefinition:
+        return self._views[mask]
+
+    # -- lookups --------------------------------------------------------------
+
+    def view_for(self, variables: tuple[Variable, ...] | frozenset[Variable]
+                 ) -> ViewDefinition:
+        """The view grouping exactly on ``variables``."""
+        return self._views[self._facet.subset_mask(variables)]
+
+    @property
+    def apex(self) -> ViewDefinition:
+        """The fully-aggregated view (no grouping variables)."""
+        return self._views[0]
+
+    @property
+    def finest(self) -> ViewDefinition:
+        """The view grouping on all of X (the lattice's base)."""
+        return self._views[-1]
+
+    def level(self, n: int) -> list[ViewDefinition]:
+        """All views with exactly ``n`` grouping variables."""
+        return [v for v in self._views if v.level == n]
+
+    def levels(self) -> list[list[ViewDefinition]]:
+        """Views grouped by level, coarsest (apex) first."""
+        out: list[list[ViewDefinition]] = [
+            [] for _ in range(self._facet.dimension_count + 1)]
+        for v in self._views:
+            out[v.level].append(v)
+        return out
+
+    # -- order relations ---------------------------------------------------------
+
+    def parents(self, view: ViewDefinition) -> list[ViewDefinition]:
+        """Immediate finer views (one extra grouping variable)."""
+        out = []
+        for i in range(self._facet.dimension_count):
+            bit = 1 << i
+            if not view.mask & bit:
+                out.append(self._views[view.mask | bit])
+        return out
+
+    def children(self, view: ViewDefinition) -> list[ViewDefinition]:
+        """Immediate coarser views (one variable removed)."""
+        out = []
+        for i in range(self._facet.dimension_count):
+            bit = 1 << i
+            if view.mask & bit:
+                out.append(self._views[view.mask & ~bit])
+        return out
+
+    def ancestors(self, view: ViewDefinition) -> list[ViewDefinition]:
+        """All strictly finer views — the views that can answer ``view``."""
+        return [v for v in self._views
+                if v.mask != view.mask and v.covers_mask(view.mask)]
+
+    def descendants(self, view: ViewDefinition) -> list[ViewDefinition]:
+        """All strictly coarser views — what ``view`` can answer by roll-up."""
+        return [v for v in self._views
+                if v.mask != view.mask and view.covers_mask(v.mask)]
+
+    def answerable_by(self, required_mask: int) -> list[ViewDefinition]:
+        """Views able to answer a query needing the variables in the mask."""
+        return [v for v in self._views if v.covers_mask(required_mask)]
+
+    def required_mask(self, variables: frozenset[Variable] |
+                      tuple[Variable, ...]) -> int:
+        """Bitmask of the variables a query needs bound (group + filter)."""
+        return self._facet.subset_mask(variables)
+
+    def __repr__(self) -> str:
+        return (f"<ViewLattice {self._facet.name!r} "
+                f"{len(self._views)} views, "
+                f"{self._facet.dimension_count} dimensions>")

@@ -1,0 +1,141 @@
+"""Deriving facets from RDF Data Cube (QB / QB4OLAP) metadata.
+
+The paper positions SOFOS against MARVEL, which requires "the input data
+[to] actually adopt a data cube model (in particular the QB4OLAP)".
+SOFOS's facets are strictly more general — but when a graph *does* carry
+``qb:`` annotations, the facet can be derived automatically instead of
+hand-written: the data structure definition lists the dimension and
+measure properties, and observations link to their dataset.
+
+``facet_from_qb`` reads that metadata and produces the equivalent
+:class:`~repro.cube.facet.AnalyticalFacet`, whose pattern is::
+
+    ?obs qb:dataSet <dataset> ;
+         <dim_1> ?d1 ; ... ; <dim_n> ?dn ;
+         <measure> ?measure .
+
+so the whole SOFOS pipeline (lattice, cost models, selection,
+materialization, rewriting) applies unchanged to QB4OLAP cubes.
+"""
+
+from __future__ import annotations
+
+from ..errors import FacetError
+from ..rdf.graph import Graph
+from ..rdf.namespace import Namespace
+from ..rdf.terms import IRI, Variable
+from ..rdf.triples import TriplePattern
+from ..sparql.ast import AggregateExpr, BGPElement, GroupPattern, VarExpr
+from .facet import ROLLUP_AGGREGATES, AnalyticalFacet
+
+__all__ = ["QB", "facet_from_qb", "qb_datasets"]
+
+#: The W3C RDF Data Cube vocabulary.
+QB = Namespace("http://purl.org/linked-data/cube#")
+
+_OBS_VAR = Variable("obs")
+_MEASURE_VAR = Variable("measure")
+
+
+def qb_datasets(graph: Graph) -> list[IRI]:
+    """All ``qb:DataSet`` instances declared in the graph."""
+    from ..rdf.namespace import RDF
+    return sorted(
+        (s for s in graph.subjects(p=RDF.type, o=QB.DataSet)
+         if isinstance(s, IRI)),
+        key=lambda term: term.value)
+
+
+def _variable_for(prop: IRI, used: set[str]) -> Variable:
+    base = prop.local_name or "dim"
+    candidate = "".join(ch if ch.isalnum() or ch == "_" else "_"
+                        for ch in base)
+    if not candidate or not (candidate[0].isalpha() or candidate[0] == "_"):
+        candidate = "d_" + candidate
+    name = candidate
+    suffix = 2
+    while name in used:
+        name = f"{candidate}{suffix}"
+        suffix += 1
+    used.add(name)
+    return Variable(name)
+
+
+def facet_from_qb(graph: Graph, dataset: IRI | None = None,
+                  name: str | None = None, aggregate: str = "SUM",
+                  measure: IRI | None = None) -> AnalyticalFacet:
+    """Build the analytical facet a QB dataset describes.
+
+    Parameters
+    ----------
+    dataset:
+        The ``qb:DataSet`` IRI; may be omitted when the graph declares
+        exactly one.
+    aggregate:
+        The roll-up aggregate to apply to the measure (default SUM, the
+        QB measure convention).
+    measure:
+        Disambiguates when the structure declares several measure
+        properties; by default a single measure is required.
+    """
+    if aggregate not in ROLLUP_AGGREGATES:
+        raise FacetError(f"aggregate {aggregate!r} is not materializable; "
+                         "choose one of " + ", ".join(sorted(
+                             ROLLUP_AGGREGATES)))
+    if dataset is None:
+        candidates = qb_datasets(graph)
+        if len(candidates) != 1:
+            raise FacetError(
+                f"graph declares {len(candidates)} qb:DataSet instances; "
+                "pass dataset= explicitly")
+        dataset = candidates[0]
+
+    structure = graph.value(s=dataset, p=QB.structure, o=None)
+    if structure is None:
+        raise FacetError(f"{dataset.n3()} has no qb:structure")
+
+    dimensions: list[IRI] = []
+    measures: list[IRI] = []
+    for component in graph.objects(structure, QB.component):
+        for dim in graph.objects(component, QB.dimension):
+            if isinstance(dim, IRI):
+                dimensions.append(dim)
+        for mea in graph.objects(component, QB.measure):
+            if isinstance(mea, IRI):
+                measures.append(mea)
+    dimensions.sort(key=lambda term: term.value)
+    measures.sort(key=lambda term: term.value)
+
+    if not dimensions:
+        raise FacetError(f"{dataset.n3()} declares no qb:dimension "
+                         "components")
+    if measure is not None:
+        if measure not in measures:
+            raise FacetError(f"{measure.n3()} is not a declared measure of "
+                             f"{dataset.n3()}")
+        chosen_measure = measure
+    elif len(measures) == 1:
+        chosen_measure = measures[0]
+    else:
+        raise FacetError(
+            f"{dataset.n3()} declares {len(measures)} measures; pass "
+            "measure= to choose one")
+
+    used_names = {_OBS_VAR.name, _MEASURE_VAR.name}
+    dim_vars = [_variable_for(prop, used_names) for prop in dimensions]
+
+    patterns = [TriplePattern(_OBS_VAR, QB.dataSet, dataset)]
+    for prop, var in zip(dimensions, dim_vars):
+        patterns.append(TriplePattern(_OBS_VAR, prop, var))
+    patterns.append(TriplePattern(_OBS_VAR, chosen_measure, _MEASURE_VAR))
+
+    facet_name = name if name is not None else \
+        f"qb:{dataset.local_name or dataset.value}"
+    return AnalyticalFacet(
+        name=facet_name,
+        grouping_variables=tuple(dim_vars),
+        pattern=GroupPattern((BGPElement(tuple(patterns)),)),
+        aggregate=AggregateExpr(aggregate, VarExpr(_MEASURE_VAR)),
+        measure_alias=Variable("total"),
+        description=f"derived from QB structure of {dataset.value}",
+    )

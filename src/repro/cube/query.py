@@ -1,0 +1,109 @@
+"""Structured analytical queries targeting a facet.
+
+The online module's workload consists of queries "randomly generated from
+the facet F" (paper §3.2): each groups on a subset of X, aggregates the
+facet's measure, and may add FILTER specializations over the grouping
+variables.  :class:`AnalyticalQuery` is that structure made explicit — it
+renders to a SPARQL AST for the base graph, and carries exactly the
+information the router and rewriter need (no SPARQL reverse-engineering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import FacetError
+from ..rdf.terms import Term, Variable
+from ..sparql.ast import CompareExpr, FilterElement, GroupPattern, \
+    ProjectionItem, SelectQuery, TermExpr, VarExpr
+from .facet import AnalyticalFacet
+
+__all__ = ["FilterCondition", "AnalyticalQuery"]
+
+_VALID_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True)
+class FilterCondition:
+    """One comparison ``?var OP value`` specializing a query."""
+
+    var: Variable
+    op: str
+    value: Term
+
+    def __post_init__(self) -> None:
+        if self.op not in _VALID_OPS:
+            raise FacetError(f"invalid filter operator {self.op!r}")
+
+    def to_expression(self) -> CompareExpr:
+        return CompareExpr(self.op, VarExpr(self.var), TermExpr(self.value))
+
+    def __str__(self) -> str:
+        return f"?{self.var.name} {self.op} {self.value.n3()}"
+
+
+@dataclass(frozen=True)
+class AnalyticalQuery:
+    """An analytical query over a facet: group subset + filters.
+
+    ``group_mask`` selects the grouped subset of the facet's X (0 = total
+    aggregation); every filter variable must belong to X.
+    """
+
+    facet: AnalyticalFacet
+    group_mask: int
+    filters: tuple[FilterCondition, ...] = ()
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        self.facet.mask_variables(self.group_mask)  # range check
+        for condition in self.filters:
+            self.facet.variable_index(condition.var)  # membership check
+
+    # -- derived structure ---------------------------------------------------
+
+    @property
+    def group_variables(self) -> tuple[Variable, ...]:
+        return self.facet.mask_variables(self.group_mask)
+
+    @property
+    def filter_mask(self) -> int:
+        mask = 0
+        for condition in self.filters:
+            mask |= 1 << self.facet.variable_index(condition.var)
+        return mask
+
+    @property
+    def required_mask(self) -> int:
+        """Variables a view must expose to answer this query."""
+        return self.group_mask | self.filter_mask
+
+    def describe(self) -> str:
+        dims = ", ".join(f"?{v.name}" for v in self.group_variables) or "(total)"
+        text = f"{self.facet.aggregate.name} by {dims}"
+        if self.filters:
+            text += " where " + " & ".join(str(f) for f in self.filters)
+        if self.label:
+            return f"{self.label}: {text}"
+        return text
+
+    # -- rendering against the base graph -----------------------------------------
+
+    def to_select_query(self) -> SelectQuery:
+        """The query as executed directly on the knowledge graph G."""
+        where = self.facet.pattern
+        if self.filters:
+            extra = tuple(FilterElement(f.to_expression())
+                          for f in self.filters)
+            where = GroupPattern(where.elements + extra)
+        items = [ProjectionItem(v) for v in self.group_variables]
+        items.append(ProjectionItem(self.facet.measure_alias,
+                                    self.facet.aggregate))
+        return SelectQuery(
+            projection=tuple(items),
+            where=where,
+            group_by=self.group_variables,
+        )
+
+    def __repr__(self) -> str:
+        return f"<AnalyticalQuery {self.describe()}>"

@@ -1,0 +1,15 @@
+"""Synthetic demo datasets: LUBM, DBpedia-like, and SWDF-like generators."""
+
+from .base import ZipfSampler
+from .catalog import DATASET_NAMES, SCALES, DatasetSpec, FacetSpec, \
+    LoadedDataset, dataset_spec, load_dataset
+from .dbpedia import DBP, DBPediaConfig, generate_dbpedia
+from .lubm import UB, LUBMConfig, generate_lubm
+from .swdf import SWDF, SWDFConfig, generate_swdf
+
+__all__ = [
+    "DATASET_NAMES", "DBP", "DBPediaConfig", "DatasetSpec", "FacetSpec",
+    "LoadedDataset", "LUBMConfig", "SCALES", "SWDF", "SWDFConfig", "UB",
+    "ZipfSampler", "dataset_spec", "generate_dbpedia", "generate_lubm",
+    "generate_swdf", "load_dataset",
+]

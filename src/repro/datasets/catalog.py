@@ -1,0 +1,294 @@
+"""The demo catalog: the three datasets with their query facets.
+
+Mirrors the demonstration's *Configuration* step — "the three datasets
+used for our demonstration (i.e., the LUBM, the DBpedia, and the Semantic
+Web Dogfood datasets) will be presented along with the corresponding query
+facets ... each accompanied by a high-level description and a
+corresponding SPARQL query template."
+
+Every dataset comes in three deterministic scale presets: ``tiny`` for
+unit tests, ``small`` for CI-speed experiments, ``demo`` for the sizes
+the benchmark harness reports on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import DatasetError
+from ..rdf.graph import Graph
+from ..cube.facet import AnalyticalFacet
+from .dbpedia import DBPediaConfig, generate_dbpedia
+from .lubm import LUBMConfig, generate_lubm
+from .swdf import SWDFConfig, generate_swdf
+
+__all__ = ["FacetSpec", "DatasetSpec", "LoadedDataset", "DATASET_NAMES",
+           "SCALES", "load_dataset", "dataset_spec"]
+
+SCALES = ("tiny", "small", "demo")
+
+
+@dataclass(frozen=True)
+class FacetSpec:
+    """A named facet template attached to a dataset."""
+
+    name: str
+    description: str
+    template: str
+
+    def build(self) -> AnalyticalFacet:
+        return AnalyticalFacet.from_query(self.name, self.template,
+                                          description=self.description)
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A demo dataset: builders per scale plus its facet templates."""
+
+    name: str
+    description: str
+    builders: dict[str, Callable[[], Graph]]
+    facets: tuple[FacetSpec, ...]
+
+    def facet_names(self) -> list[str]:
+        return [f.name for f in self.facets]
+
+
+@dataclass(frozen=True)
+class LoadedDataset:
+    """A built graph plus its instantiated facets."""
+
+    spec: DatasetSpec
+    scale: str
+    graph: Graph
+    facets: dict[str, AnalyticalFacet]
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def facet(self, name: str | None = None) -> AnalyticalFacet:
+        """A facet by name; default is the dataset's first (headline) facet."""
+        if name is None:
+            name = self.spec.facets[0].name
+        if name not in self.facets:
+            raise DatasetError(
+                f"dataset {self.name!r} has no facet {name!r}; available: "
+                + ", ".join(sorted(self.facets)))
+        return self.facets[name]
+
+
+_DBPEDIA_PREFIX = "PREFIX dbp: <http://dbpedia.org/ontology/>\n"
+_LUBM_PREFIX = "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n"
+_SWDF_PREFIX = "PREFIX sw: <http://data.semanticweb.org/ns/>\n"
+
+_DBPEDIA_FACETS = (
+    FacetSpec(
+        "population_by_language_year",
+        "Total population per official language per census year "
+        "(Example 1.1: 'total amount of French-speaking population').",
+        _DBPEDIA_PREFIX + """
+        SELECT ?lang ?year (SUM(?pop) AS ?total) WHERE {
+          ?obs dbp:ofCountry ?country ;
+               dbp:year ?year ;
+               dbp:population ?pop .
+          ?country dbp:language ?lang .
+        } GROUP BY ?lang ?year
+        """,
+    ),
+    FacetSpec(
+        "population_cube",
+        "The headline 3-dimensional cube: population by language, year, "
+        "and continent.",
+        _DBPEDIA_PREFIX + """
+        SELECT ?lang ?year ?continent (SUM(?pop) AS ?total) WHERE {
+          ?obs dbp:ofCountry ?country ;
+               dbp:year ?year ;
+               dbp:population ?pop .
+          ?country dbp:language ?lang ;
+                   dbp:partOf ?continent .
+          ?continent a dbp:Continent .
+        } GROUP BY ?lang ?year ?continent
+        """,
+    ),
+    FacetSpec(
+        "population_cube_4d",
+        "Four dimensions (adds the country itself): the 16-view lattice "
+        "used to show why full materialization is impractical.",
+        _DBPEDIA_PREFIX + """
+        SELECT ?country ?lang ?year ?continent (SUM(?pop) AS ?total) WHERE {
+          ?obs dbp:ofCountry ?country ;
+               dbp:year ?year ;
+               dbp:population ?pop .
+          ?country dbp:language ?lang ;
+                   dbp:partOf ?continent .
+          ?continent a dbp:Continent .
+        } GROUP BY ?country ?lang ?year ?continent
+        """,
+    ),
+    FacetSpec(
+        "population_peak",
+        "Largest single-country population per continent per year — a MAX "
+        "facet exercising the order-statistic roll-up path.",
+        _DBPEDIA_PREFIX + """
+        SELECT ?continent ?year (MAX(?pop) AS ?peak) WHERE {
+          ?obs dbp:ofCountry ?country ;
+               dbp:year ?year ;
+               dbp:population ?pop .
+          ?country dbp:partOf ?continent .
+          ?continent a dbp:Continent .
+        } GROUP BY ?continent ?year
+        """,
+    ),
+    FacetSpec(
+        "population_avg",
+        "Average country population per continent per year — exercises the "
+        "algebraic AVG decomposition (sum+count materialization).",
+        _DBPEDIA_PREFIX + """
+        SELECT ?continent ?year (AVG(?pop) AS ?avgpop) WHERE {
+          ?obs dbp:ofCountry ?country ;
+               dbp:year ?year ;
+               dbp:population ?pop .
+          ?country dbp:partOf ?continent .
+          ?continent a dbp:Continent .
+        } GROUP BY ?continent ?year
+        """,
+    ),
+)
+
+_LUBM_FACETS = (
+    FacetSpec(
+        "students_by_department",
+        "Student head-count per university, department, and student type.",
+        _LUBM_PREFIX + """
+        SELECT ?univ ?dept ?stype (COUNT(?student) AS ?n) WHERE {
+          ?student ub:memberOf ?dept ;
+                   a ?stype .
+          ?dept ub:subOrganizationOf ?univ .
+        } GROUP BY ?univ ?dept ?stype
+        """,
+    ),
+    FacetSpec(
+        "publications_by_rank",
+        "Publication output per university, department, and faculty rank.",
+        _LUBM_PREFIX + """
+        SELECT ?univ ?dept ?rank (COUNT(?pub) AS ?n) WHERE {
+          ?pub ub:publicationAuthor ?author .
+          ?author ub:worksFor ?dept ;
+                  a ?rank .
+          ?dept ub:subOrganizationOf ?univ .
+        } GROUP BY ?univ ?dept ?rank
+        """,
+    ),
+)
+
+_SWDF_FACETS = (
+    FacetSpec(
+        "papers_by_conference",
+        "Accepted papers per conference series, year, and track.",
+        _SWDF_PREFIX + """
+        SELECT ?series ?year ?track (COUNT(?paper) AS ?n) WHERE {
+          ?paper sw:presentedAt ?edition ;
+                 sw:track ?track .
+          ?edition sw:ofSeries ?series ;
+                   sw:year ?year .
+        } GROUP BY ?series ?year ?track
+        """,
+    ),
+    FacetSpec(
+        "papers_by_country",
+        "Author-weighted paper counts per affiliation country, series and "
+        "year — the multi-author duplication pitfall.",
+        _SWDF_PREFIX + """
+        SELECT ?country ?series ?year (COUNT(?paper) AS ?n) WHERE {
+          ?paper sw:presentedAt ?edition ;
+                 sw:author ?author .
+          ?edition sw:ofSeries ?series ;
+                   sw:year ?year .
+          ?author sw:affiliation ?org .
+          ?org sw:basedIn ?country .
+        } GROUP BY ?country ?series ?year
+        """,
+    ),
+)
+
+
+def _dbpedia_builders() -> dict[str, Callable[[], Graph]]:
+    return {
+        "tiny": lambda: generate_dbpedia(DBPediaConfig(
+            countries=12, years=(2018, 2019), seed=7)),
+        "small": lambda: generate_dbpedia(DBPediaConfig(
+            countries=40, years=tuple(range(2014, 2020)), seed=7)),
+        "demo": lambda: generate_dbpedia(DBPediaConfig(
+            countries=150, years=tuple(range(2000, 2020)), seed=7)),
+    }
+
+
+def _lubm_builders() -> dict[str, Callable[[], Graph]]:
+    return {
+        "tiny": lambda: generate_lubm(LUBMConfig(seed=7).scaled(0.12)),
+        "small": lambda: generate_lubm(LUBMConfig(seed=7).scaled(0.35)),
+        "demo": lambda: generate_lubm(LUBMConfig(universities=1, seed=7)),
+    }
+
+
+def _swdf_builders() -> dict[str, Callable[[], Graph]]:
+    return {
+        "tiny": lambda: generate_swdf(SWDFConfig(
+            series=("ISWC", "ESWC"), years=(2018, 2019),
+            papers_per_edition_min=8, papers_per_edition_max=15,
+            authors_pool=60, organizations=15, seed=7)),
+        "small": lambda: generate_swdf(SWDFConfig(
+            series=("ISWC", "ESWC", "WWW"), years=tuple(range(2016, 2020)),
+            papers_per_edition_min=15, papers_per_edition_max=30,
+            authors_pool=150, organizations=40, seed=7)),
+        "demo": lambda: generate_swdf(SWDFConfig(seed=7)),
+    }
+
+
+_CATALOG: dict[str, DatasetSpec] = {
+    "dbpedia": DatasetSpec(
+        name="dbpedia",
+        description="Country / language / population cube (the paper's "
+                    "Figure 1 running example, grown to census size).",
+        builders=_dbpedia_builders(),
+        facets=_DBPEDIA_FACETS,
+    ),
+    "lubm": DatasetSpec(
+        name="lubm",
+        description="LUBM-style university benchmark graph (Guo et al. "
+                    "2005), regenerated natively.",
+        builders=_lubm_builders(),
+        facets=_LUBM_FACETS,
+    ),
+    "swdf": DatasetSpec(
+        name="swdf",
+        description="Semantic Web Dog Food-style scholarly metadata graph.",
+        builders=_swdf_builders(),
+        facets=_SWDF_FACETS,
+    ),
+}
+
+DATASET_NAMES = tuple(sorted(_CATALOG))
+
+
+def dataset_spec(name: str) -> DatasetSpec:
+    """The catalog entry for a dataset name."""
+    spec = _CATALOG.get(name)
+    if spec is None:
+        raise DatasetError(f"unknown dataset {name!r}; available: "
+                           + ", ".join(DATASET_NAMES))
+    return spec
+
+
+def load_dataset(name: str, scale: str = "small") -> LoadedDataset:
+    """Build a demo dataset at the given scale with all its facets."""
+    spec = dataset_spec(name)
+    builder = spec.builders.get(scale)
+    if builder is None:
+        raise DatasetError(f"unknown scale {scale!r}; available: "
+                           + ", ".join(SCALES))
+    graph = builder()
+    facets = {f.name: f.build() for f in spec.facets}
+    return LoadedDataset(spec=spec, scale=scale, graph=graph, facets=facets)

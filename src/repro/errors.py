@@ -1,0 +1,92 @@
+"""Exception hierarchy for the SOFOS reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing parse errors from query errors from selection errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class RDFError(ReproError):
+    """Base class for errors in the RDF data-model layer."""
+
+
+class TermError(RDFError):
+    """An RDF term was constructed from invalid components."""
+
+
+class ParseError(RDFError):
+    """A serialized RDF document or SPARQL query could not be parsed.
+
+    Carries the ``line`` and ``column`` (1-based) of the offending input
+    position when they are known.
+    """
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None) -> None:
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class SPARQLError(ReproError):
+    """Base class for errors in the SPARQL engine."""
+
+
+class QuerySyntaxError(SPARQLError, ParseError):
+    """A SPARQL query string is syntactically invalid."""
+
+
+class QueryEvaluationError(SPARQLError):
+    """A syntactically valid query failed during evaluation."""
+
+
+class ExpressionError(QueryEvaluationError):
+    """An expression raised a (SPARQL) type error.
+
+    Per the SPARQL semantics most expression errors do not abort the whole
+    query: a FILTER treats them as ``false`` and an aggregate skips the
+    binding.  The executor catches this exception at those boundaries.
+    """
+
+
+class CubeError(ReproError):
+    """Base class for errors in the facet/lattice layer."""
+
+
+class FacetError(CubeError):
+    """An analytical facet definition is invalid."""
+
+
+class ViewError(ReproError):
+    """Base class for errors in view materialization and rewriting."""
+
+
+class RewriteError(ViewError):
+    """A query could not be rewritten against a materialized view."""
+
+
+class CostModelError(ReproError):
+    """A cost model was misconfigured or asked to estimate an unknown view."""
+
+
+class SelectionError(ReproError):
+    """A view-selection strategy received an infeasible problem."""
+
+
+class WorkloadError(ReproError):
+    """A workload template could not be instantiated."""
+
+
+class DatasetError(ReproError):
+    """A dataset generator received invalid parameters."""

@@ -1,0 +1,121 @@
+"""An RDF dataset: one default graph plus named graphs, sharing a dictionary.
+
+SOFOS materializes each selected view as a separate RDF graph; modelling
+those as *named graphs* of a single dataset gives exact per-view storage
+accounting and O(1) view dropping, while the shared term dictionary keeps
+ids comparable between the base graph and every view graph (the expanded
+graph ``G+`` of the paper is the union of all of them).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .dictionary import TermDictionary
+from .graph import Graph
+from .terms import IRI
+from .triples import Quad, Triple
+
+__all__ = ["Dataset"]
+
+
+class Dataset:
+    """A collection of graphs keyed by IRI, with one default graph."""
+
+    __slots__ = ("_dict", "_default", "_named")
+
+    def __init__(self, dictionary: TermDictionary | None = None) -> None:
+        self._dict = dictionary if dictionary is not None else TermDictionary()
+        self._default = Graph(self._dict)
+        self._named: dict[IRI, Graph] = {}
+
+    @classmethod
+    def wrap(cls, graph: Graph) -> "Dataset":
+        """A dataset whose default graph *is* ``graph`` (no copy).
+
+        The dataset shares the graph's term dictionary, so ids stay
+        comparable between the base graph and any named view graphs added
+        later — which is what makes this the canonical way to build the
+        expanded graph G+ around an existing knowledge graph.
+        """
+        dataset = cls(graph.dictionary)
+        dataset._default = graph
+        return dataset
+
+    @property
+    def dictionary(self) -> TermDictionary:
+        return self._dict
+
+    @property
+    def default(self) -> Graph:
+        """The default graph (the base knowledge graph ``G``)."""
+        return self._default
+
+    def graph(self, name: IRI | None = None) -> Graph:
+        """The graph called ``name``, created empty on first access."""
+        if name is None:
+            return self._default
+        g = self._named.get(name)
+        if g is None:
+            g = Graph(self._dict)
+            self._named[name] = g
+        return g
+
+    def get_graph(self, name: IRI) -> Graph | None:
+        """The named graph, or None when it does not exist."""
+        return self._named.get(name)
+
+    def drop(self, name: IRI) -> bool:
+        """Remove a named graph entirely; returns True when it existed."""
+        return self._named.pop(name, None) is not None
+
+    def names(self) -> Iterator[IRI]:
+        """Iterate the names of all named graphs."""
+        return iter(self._named)
+
+    def __len__(self) -> int:
+        """Total triples across the default and all named graphs."""
+        return len(self._default) + sum(len(g) for g in self._named.values())
+
+    def __contains__(self, name: IRI) -> bool:
+        return name in self._named
+
+    def __repr__(self) -> str:
+        return (f"<Dataset default={len(self._default)} triples, "
+                f"{len(self._named)} named graphs, {len(self)} total>")
+
+    def add_quad(self, quad: Quad) -> bool:
+        """Insert a quad into its graph (``graph=None`` targets the default)."""
+        return self.graph(quad.graph).add(quad.triple)
+
+    def quads(self) -> Iterator[Quad]:
+        """Iterate all quads: default graph first, then named graphs."""
+        for t in self._default:
+            yield Quad(t.s, t.p, t.o, None)
+        for name, g in self._named.items():
+            for t in g:
+                yield Quad(t.s, t.p, t.o, name)
+
+    def storage_report(self) -> dict[str, int]:
+        """Triple counts per graph; key '' is the default graph.
+
+        This is the raw input for the demo's storage-amplification panels.
+        """
+        report = {"": len(self._default)}
+        for name, g in self._named.items():
+            report[name.value] = len(g)
+        return report
+
+    def union_copy(self, names: Iterator[IRI] | None = None) -> Graph:
+        """A fresh graph holding default ∪ selected named graphs (``G+``)."""
+        merged = Graph(self._dict)
+        for sid, pid, oid in self._default._iter_ids():
+            merged._add_ids(sid, pid, oid)
+        selected = list(self._named) if names is None else list(names)
+        for name in selected:
+            g = self._named.get(name)
+            if g is None:
+                continue
+            for sid, pid, oid in g._iter_ids():
+                merged._add_ids(sid, pid, oid)
+        return merged

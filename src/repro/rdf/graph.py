@@ -1,0 +1,423 @@
+"""An indexed, dictionary-encoded, in-memory RDF graph.
+
+The store keeps three nested-hash indexes (SPO, POS, OSP) over integer term
+ids, which makes every one of the eight triple-pattern access paths a hash
+walk rather than a scan.  This is the substrate the paper assumes when it
+says SOFOS can run "on any RDF triple store with SPARQL query processing".
+
+Typical usage::
+
+    g = Graph()
+    g.add(Triple(EX.france, EX.population, typed_literal(67_000_000)))
+    for t in g.triples(p=EX.population):
+        ...
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from .dictionary import TermDictionary
+from .terms import IRI, BlankNode, Literal, Term, Variable
+from .triples import Triple, TriplePattern
+
+__all__ = ["Graph"]
+
+_Index = dict  # dict[int, dict[int, set[int]]]
+
+
+def _index_add(index: _Index, a: int, b: int, c: int) -> bool:
+    level1 = index.get(a)
+    if level1 is None:
+        index[a] = {b: {c}}
+        return True
+    level2 = level1.get(b)
+    if level2 is None:
+        level1[b] = {c}
+        return True
+    if c in level2:
+        return False
+    level2.add(c)
+    return True
+
+
+def _index_discard(index: _Index, a: int, b: int, c: int) -> bool:
+    level1 = index.get(a)
+    if level1 is None:
+        return False
+    level2 = level1.get(b)
+    if level2 is None or c not in level2:
+        return False
+    level2.discard(c)
+    if not level2:
+        del level1[b]
+        if not level1:
+            del index[a]
+    return True
+
+
+class Graph:
+    """A mutable set of RDF triples with pattern-matching access paths.
+
+    Parameters
+    ----------
+    dictionary:
+        The term-interning dictionary to use.  Pass a shared dictionary when
+        several graphs must produce comparable term ids (the
+        :class:`~repro.rdf.dataset.Dataset` does this for all its graphs);
+        by default each graph owns a private one.
+    """
+
+    __slots__ = ("_dict", "_spo", "_pos", "_osp", "_size", "_pred_counts",
+                 "_version")
+
+    def __init__(self, dictionary: TermDictionary | None = None,
+                 triples: Iterable[Triple] | None = None) -> None:
+        self._dict = dictionary if dictionary is not None else TermDictionary()
+        self._spo: _Index = {}
+        self._pos: _Index = {}
+        self._osp: _Index = {}
+        self._size = 0
+        self._pred_counts: dict[int, int] = {}
+        self._version = 0
+        if triples is not None:
+            for t in triples:
+                self.add(t)
+
+    # -- basic protocol ----------------------------------------------------
+
+    @property
+    def dictionary(self) -> TermDictionary:
+        """The term dictionary this graph encodes against."""
+        return self._dict
+
+    @property
+    def version(self) -> int:
+        """A counter incremented by every successful mutation.
+
+        Materialized views record the base graph's version at build time;
+        the catalog compares versions to detect staleness.
+        """
+        return self._version
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __iter__(self) -> Iterator[Triple]:
+        return self.triples()
+
+    def __contains__(self, triple: Triple) -> bool:
+        s, p, o = triple
+        sid = self._dict.lookup(s)
+        pid = self._dict.lookup(p)
+        oid = self._dict.lookup(o)
+        if sid is None or pid is None or oid is None:
+            return False
+        level1 = self._spo.get(sid)
+        if level1 is None:
+            return False
+        level2 = level1.get(pid)
+        return level2 is not None and oid in level2
+
+    def __repr__(self) -> str:
+        return f"<Graph with {self._size} triples>"
+
+    # -- mutation ------------------------------------------------------------
+
+    def add(self, triple: Triple) -> bool:
+        """Add a triple; returns True when it was not already present."""
+        s, p, o = Triple.validate(*triple)
+        sid = self._dict.encode(s)
+        pid = self._dict.encode(p)
+        oid = self._dict.encode(o)
+        return self._add_ids(sid, pid, oid)
+
+    def _add_ids(self, sid: int, pid: int, oid: int) -> bool:
+        if not _index_add(self._spo, sid, pid, oid):
+            return False
+        _index_add(self._pos, pid, oid, sid)
+        _index_add(self._osp, oid, sid, pid)
+        self._size += 1
+        self._pred_counts[pid] = self._pred_counts.get(pid, 0) + 1
+        self._version += 1
+        return True
+
+    def update(self, triples: Iterable[Triple]) -> int:
+        """Add many triples; returns the number actually inserted."""
+        added = 0
+        for t in triples:
+            if self.add(t):
+                added += 1
+        return added
+
+    def discard(self, triple: Triple) -> bool:
+        """Remove a triple; returns True when it was present."""
+        s, p, o = triple
+        sid = self._dict.lookup(s)
+        pid = self._dict.lookup(p)
+        oid = self._dict.lookup(o)
+        if sid is None or pid is None or oid is None:
+            return False
+        if not _index_discard(self._spo, sid, pid, oid):
+            return False
+        _index_discard(self._pos, pid, oid, sid)
+        _index_discard(self._osp, oid, sid, pid)
+        self._size -= 1
+        remaining = self._pred_counts[pid] - 1
+        if remaining:
+            self._pred_counts[pid] = remaining
+        else:
+            del self._pred_counts[pid]
+        self._version += 1
+        return True
+
+    def clear(self) -> None:
+        """Drop all triples (the shared dictionary is left untouched)."""
+        self._spo.clear()
+        self._pos.clear()
+        self._osp.clear()
+        self._pred_counts.clear()
+        self._size = 0
+        self._version += 1
+
+    def copy(self, dictionary: TermDictionary | None = None) -> "Graph":
+        """A triple-level copy, optionally re-encoded against ``dictionary``."""
+        clone = Graph(dictionary if dictionary is not None else self._dict)
+        if clone._dict is self._dict:
+            for sid, pid, oid in self._iter_ids():
+                clone._add_ids(sid, pid, oid)
+        else:
+            for t in self.triples():
+                clone.add(t)
+        return clone
+
+    # -- id-level access (used by the SPARQL executor) -----------------------
+
+    def _iter_ids(self) -> Iterator[tuple[int, int, int]]:
+        for sid, level1 in self._spo.items():
+            for pid, level2 in level1.items():
+                for oid in level2:
+                    yield (sid, pid, oid)
+
+    def match_ids(self, sid: Optional[int], pid: Optional[int],
+                  oid: Optional[int]) -> Iterator[tuple[int, int, int]]:
+        """Iterate id-triples matching a pattern of ids (None = wildcard).
+
+        This is the raw access path: every one of the eight concretization
+        patterns walks the cheapest of the three indexes.
+        """
+        if sid is not None:
+            level1 = self._spo.get(sid)
+            if level1 is None:
+                return
+            if pid is not None:
+                level2 = level1.get(pid)
+                if level2 is None:
+                    return
+                if oid is not None:
+                    if oid in level2:
+                        yield (sid, pid, oid)
+                    return
+                for o in level2:
+                    yield (sid, pid, o)
+                return
+            if oid is not None:
+                preds = self._osp.get(oid, {}).get(sid)
+                if preds:
+                    for p in preds:
+                        yield (sid, p, oid)
+                return
+            for p, objs in level1.items():
+                for o in objs:
+                    yield (sid, p, o)
+            return
+        if pid is not None:
+            level1 = self._pos.get(pid)
+            if level1 is None:
+                return
+            if oid is not None:
+                subs = level1.get(oid)
+                if subs:
+                    for s in subs:
+                        yield (s, pid, oid)
+                return
+            for o, subs in level1.items():
+                for s in subs:
+                    yield (s, pid, o)
+            return
+        if oid is not None:
+            level1 = self._osp.get(oid)
+            if level1 is None:
+                return
+            for s, preds in level1.items():
+                for p in preds:
+                    yield (s, p, oid)
+            return
+        yield from self._iter_ids()
+
+    def count_ids(self, sid: Optional[int], pid: Optional[int],
+                  oid: Optional[int]) -> int:
+        """Exact cardinality of a pattern of ids, without materializing it.
+
+        The planner uses this to order basic graph patterns most-selective
+        first; all cases are O(index-fanout) or better.
+        """
+        if sid is not None:
+            level1 = self._spo.get(sid)
+            if level1 is None:
+                return 0
+            if pid is not None:
+                level2 = level1.get(pid)
+                if level2 is None:
+                    return 0
+                if oid is not None:
+                    return 1 if oid in level2 else 0
+                return len(level2)
+            if oid is not None:
+                return len(self._osp.get(oid, {}).get(sid, ()))
+            return sum(len(objs) for objs in level1.values())
+        if pid is not None:
+            if oid is not None:
+                return len(self._pos.get(pid, {}).get(oid, ()))
+            return self._pred_counts.get(pid, 0)
+        if oid is not None:
+            level1 = self._osp.get(oid)
+            if level1 is None:
+                return 0
+            return sum(len(preds) for preds in level1.values())
+        return self._size
+
+    # -- term-level access ----------------------------------------------------
+
+    def _encode_pattern(self, s: Term | None, p: Term | None, o: Term | None
+                        ) -> Optional[tuple[Optional[int], Optional[int], Optional[int]]]:
+        ids: list[Optional[int]] = []
+        for term in (s, p, o):
+            if term is None:
+                ids.append(None)
+            else:
+                tid = self._dict.lookup(term)
+                if tid is None:
+                    return None
+                ids.append(tid)
+        return (ids[0], ids[1], ids[2])
+
+    def triples(self, s: Term | None = None, p: Term | None = None,
+                o: Term | None = None) -> Iterator[Triple]:
+        """Iterate triples matching the (s, p, o) pattern; None = wildcard."""
+        ids = self._encode_pattern(s, p, o)
+        if ids is None:
+            return
+        decode = self._dict.decode
+        for sid, pid, oid in self.match_ids(*ids):
+            yield Triple(decode(sid), decode(pid), decode(oid))
+
+    def count(self, s: Term | None = None, p: Term | None = None,
+              o: Term | None = None) -> int:
+        """Number of triples matching the pattern, without materializing."""
+        ids = self._encode_pattern(s, p, o)
+        if ids is None:
+            return 0
+        return self.count_ids(*ids)
+
+    def subjects(self, p: Term | None = None, o: Term | None = None
+                 ) -> Iterator[Term]:
+        """Distinct subjects of triples matching ``(?, p, o)``."""
+        seen: set[int] = set()
+        ids = self._encode_pattern(None, p, o)
+        if ids is None:
+            return
+        for sid, _, _ in self.match_ids(*ids):
+            if sid not in seen:
+                seen.add(sid)
+                yield self._dict.decode(sid)
+
+    def objects(self, s: Term | None = None, p: Term | None = None
+                ) -> Iterator[Term]:
+        """Distinct objects of triples matching ``(s, p, ?)``."""
+        seen: set[int] = set()
+        ids = self._encode_pattern(s, p, None)
+        if ids is None:
+            return
+        for _, _, oid in self.match_ids(*ids):
+            if oid not in seen:
+                seen.add(oid)
+                yield self._dict.decode(oid)
+
+    def predicates(self) -> Iterator[Term]:
+        """Distinct predicates used in the graph."""
+        for pid in self._pred_counts:
+            yield self._dict.decode(pid)
+
+    def value(self, s: Term | None = None, p: Term | None = None,
+              o: Term | None = None) -> Term | None:
+        """The single term filling the one None position, or None.
+
+        Convenience accessor for functional properties: exactly one of the
+        three positions must be None.
+        """
+        none_count = sum(1 for t in (s, p, o) if t is None)
+        if none_count != 1:
+            raise ValueError("value() requires exactly one wildcard position")
+        for triple in self.triples(s, p, o):
+            if s is None:
+                return triple.s
+            if p is None:
+                return triple.p
+            return triple.o
+        return None
+
+    # -- whole-graph statistics (cost-model inputs) ---------------------------
+
+    def node_ids(self, include_predicates: bool = False) -> set[int]:
+        """Ids of distinct graph nodes (subjects ∪ objects).
+
+        This realizes the paper's node-count cost model
+        ``C(V) = |I ∪ B ∪ L|``: the values appearing as graph nodes.
+        Predicates are edge labels, not nodes, unless requested.
+        """
+        nodes = set(self._spo.keys())
+        nodes.update(self._osp.keys())
+        if include_predicates:
+            nodes.update(self._pred_counts.keys())
+        return nodes
+
+    def node_count(self, include_predicates: bool = False) -> int:
+        """Number of distinct nodes — the paper's cost model (4)."""
+        return len(self.node_ids(include_predicates))
+
+    def nodes(self) -> Iterator[Term]:
+        """Iterate the distinct node terms of the graph."""
+        for tid in sorted(self.node_ids()):
+            yield self._dict.decode(tid)
+
+    def predicate_histogram(self) -> dict[IRI, int]:
+        """Triple count per predicate (feature input for the learned model)."""
+        return {self._dict.decode(pid): n for pid, n in self._pred_counts.items()}
+
+    def matches(self, pattern: TriplePattern) -> Iterator[dict[Variable, Term]]:
+        """Bindings of ``pattern``'s variables against this graph.
+
+        Single-pattern matching only; multi-pattern conjunction is the
+        SPARQL executor's job.  Positions holding the same variable twice
+        must bind consistently.
+        """
+        spec: list[Term | None] = []
+        for t in pattern:
+            spec.append(None if isinstance(t, Variable) else t)
+        for triple in self.triples(*spec):
+            binding: dict[Variable, Term] = {}
+            ok = True
+            for pos, term in zip(pattern, triple):
+                if isinstance(pos, Variable):
+                    bound = binding.get(pos)
+                    if bound is None:
+                        binding[pos] = term
+                    elif bound != term:
+                        ok = False
+                        break
+            if ok:
+                yield binding

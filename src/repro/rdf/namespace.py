@@ -1,0 +1,118 @@
+"""Namespace helpers and the well-known vocabularies used across the library.
+
+A :class:`Namespace` mints IRIs by attribute or item access::
+
+    EX = Namespace("http://example.org/")
+    EX.population        # IRI("http://example.org/population")
+    EX["part-of"]        # IRI("http://example.org/part-of")
+"""
+
+from __future__ import annotations
+
+from .terms import IRI
+
+__all__ = [
+    "Namespace",
+    "RDF",
+    "RDFS",
+    "XSD_NS",
+    "SOFOS",
+    "PrefixMap",
+]
+
+
+class Namespace:
+    """An IRI prefix that mints full IRIs on attribute/item access."""
+
+    __slots__ = ("base",)
+
+    def __init__(self, base: str) -> None:
+        object.__setattr__(self, "base", base)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Namespace is immutable")
+
+    def __getattr__(self, name: str) -> IRI:
+        if name.startswith("__"):
+            raise AttributeError(name)
+        return IRI(self.base + name)
+
+    def __getitem__(self, name: str) -> IRI:
+        return IRI(self.base + name)
+
+    def __contains__(self, iri: object) -> bool:
+        return isinstance(iri, IRI) and iri.value.startswith(self.base)
+
+    def __repr__(self) -> str:
+        return f"Namespace({self.base!r})"
+
+    def local(self, iri: IRI) -> str:
+        """Strip this namespace's base from ``iri``.
+
+        Raises ``ValueError`` when the IRI is not inside the namespace.
+        """
+        if iri not in self:
+            raise ValueError(f"{iri!r} is not in namespace {self.base}")
+        return iri.value[len(self.base):]
+
+
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+XSD_NS = Namespace("http://www.w3.org/2001/XMLSchema#")
+
+#: Vocabulary used to encode materialized views into RDF (Section 3.1 of the
+#: paper: blank nodes carrying aggregation values).  ``SOFOS.view`` links a
+#: group node to its view IRI; ``SOFOS.measure`` carries the aggregate value;
+#: ``SOFOS.groupCount`` carries the group cardinality (needed for exact AVG
+#: roll-ups); dimension predicates are minted per grouping variable under
+#: ``SOFOS.base + "dim/"``.
+SOFOS = Namespace("http://sofos.ics.forth.gr/ns#")
+
+
+class PrefixMap:
+    """A bidirectional prefix ↔ namespace table for parsing/serialization."""
+
+    def __init__(self) -> None:
+        self._by_prefix: dict[str, str] = {}
+
+    def bind(self, prefix: str, base: str | Namespace) -> None:
+        """Register ``prefix:`` as an abbreviation for ``base``."""
+        if isinstance(base, Namespace):
+            base = base.base
+        self._by_prefix[prefix] = base
+
+    def expand(self, qname: str) -> IRI:
+        """Expand a ``prefix:local`` qualified name to a full IRI."""
+        prefix, _, local = qname.partition(":")
+        if prefix not in self._by_prefix:
+            raise KeyError(f"unbound prefix: {prefix!r}")
+        return IRI(self._by_prefix[prefix] + local)
+
+    def shrink(self, iri: IRI) -> str | None:
+        """Return the shortest ``prefix:local`` form, or None if unbound."""
+        best: str | None = None
+        for prefix, base in self._by_prefix.items():
+            if iri.value.startswith(base):
+                local = iri.value[len(base):]
+                candidate = f"{prefix}:{local}"
+                if best is None or len(candidate) < len(best):
+                    best = candidate
+        return best
+
+    def items(self):
+        return self._by_prefix.items()
+
+    def copy(self) -> "PrefixMap":
+        clone = PrefixMap()
+        clone._by_prefix.update(self._by_prefix)
+        return clone
+
+
+def default_prefixes() -> PrefixMap:
+    """The prefix table every parser/serializer starts from."""
+    prefixes = PrefixMap()
+    prefixes.bind("rdf", RDF)
+    prefixes.bind("rdfs", RDFS)
+    prefixes.bind("xsd", XSD_NS)
+    prefixes.bind("sofos", SOFOS)
+    return prefixes

@@ -1,0 +1,63 @@
+"""N-Quads parsing and serialization (dataset interchange).
+
+Same line grammar as N-Triples with an optional fourth position naming the
+graph.  This is how an expanded dataset — base graph plus materialized
+view graphs — round-trips to disk in one file.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..errors import ParseError
+from .dataset import Dataset
+from .ntriples import _parse_term
+from .terms import IRI
+from .triples import Quad, Triple
+
+__all__ = ["parse_nquads", "serialize_nquads", "iter_nquads"]
+
+
+def iter_nquads(lines: Iterable[str]) -> Iterator[Quad]:
+    """Parse an iterable of N-Quads lines into quads."""
+    for line_no, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        s, pos = _parse_term(line, 0, line_no)
+        p, pos = _parse_term(line, pos, line_no)
+        o, pos = _parse_term(line, pos, line_no)
+        rest = line[pos:].strip()
+        graph: IRI | None = None
+        if rest != ".":
+            g, pos = _parse_term(line, pos, line_no)
+            if not isinstance(g, IRI):
+                raise ParseError("graph label must be an IRI", line_no)
+            graph = g
+            rest = line[pos:].strip()
+            if rest != ".":
+                raise ParseError(
+                    f"expected terminating '.', got {rest!r}", line_no)
+        Triple.validate(s, p, o)
+        yield Quad(s, p, o, graph)
+
+
+def parse_nquads(text: str, dataset: Dataset | None = None) -> Dataset:
+    """Parse an N-Quads document into a (new or given) dataset."""
+    if dataset is None:
+        dataset = Dataset()
+    for quad in iter_nquads(text.split("\n")):
+        dataset.add_quad(quad)
+    return dataset
+
+
+def serialize_nquads(dataset: Dataset) -> str:
+    """Serialize a dataset deterministically (sorted lines)."""
+    lines = []
+    for quad in dataset.quads():
+        parts = [quad.s.n3(), quad.p.n3(), quad.o.n3()]
+        if quad.graph is not None:
+            parts.append(quad.graph.n3())
+        lines.append(" ".join(parts) + " .")
+    lines.sort()
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,14 @@
+"""View-selection strategies: greedy (HRU), exhaustive, budget, user."""
+
+from .annealing import AnnealingSelector
+from .budget import SpaceBudgetSelector
+from .exhaustive import ExhaustiveSelector
+from .greedy import GreedySelector, evaluate_selection_cost, workload_masks
+from .plans import SelectionResult, SelectionStep
+from .user import UserSelection
+
+__all__ = [
+    "AnnealingSelector", "ExhaustiveSelector", "GreedySelector", "SelectionResult",
+    "SelectionStep", "SpaceBudgetSelector", "UserSelection",
+    "evaluate_selection_cost", "workload_masks",
+]

@@ -1,0 +1,106 @@
+"""Space-budget selection: "select up to k views up to a certain memory
+budget" (paper §3).
+
+The greedy loop is the same benefit-driven one, but a candidate is only
+admissible while its exact materialized size (triples, from the profiler)
+fits in the remaining budget, and benefits are normalized per unit of
+space — the classic HRU benefit-per-unit-space variant.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Sequence
+
+from ..errors import SelectionError
+from ..cube.lattice import ViewLattice
+from ..cube.query import AnalyticalQuery
+from ..cube.view import ViewDefinition
+from ..cost.base import CostModel
+from ..cost.profiler import LatticeProfile
+from .greedy import evaluate_selection_cost, workload_masks
+from .plans import SelectionResult, SelectionStep
+
+__all__ = ["SpaceBudgetSelector"]
+
+
+class SpaceBudgetSelector:
+    """Greedy selection constrained by a triple-count budget."""
+
+    strategy = "space-budget"
+
+    def __init__(self, cost_model: CostModel, triple_budget: int,
+                 max_views: int | None = None, seed: int = 0) -> None:
+        if triple_budget < 0:
+            raise SelectionError("triple budget must be non-negative")
+        self._model = cost_model
+        self._budget = triple_budget
+        self._max_views = max_views
+        self._seed = seed
+
+    def select(self, lattice: ViewLattice, profile: LatticeProfile,
+               k: int | None = None,
+               workload: Sequence[AnalyticalQuery] | None = None
+               ) -> SelectionResult:
+        """``k`` optionally caps the number of views on top of the budget."""
+        start = time.perf_counter()
+        model = self._model
+        model.prepare(profile)
+        rng = random.Random(self._seed)
+
+        costs = {view.mask: model.cost(view, profile) for view in lattice}
+        sizes = {view.mask: profile.triples(view) for view in lattice}
+        base_cost = model.base_cost(profile)
+        query_masks = workload_masks(lattice, workload)
+        current = {mask: base_cost for mask, _ in query_masks}
+
+        cap = self._max_views if self._max_views is not None else len(lattice)
+        if k is not None:
+            cap = min(cap, k)
+
+        remaining = list(lattice)
+        selected: list[ViewDefinition] = []
+        steps: list[SelectionStep] = []
+        budget_left = self._budget
+        while len(selected) < cap:
+            rng.shuffle(remaining)
+            best_view: ViewDefinition | None = None
+            best_score = 0.0
+            best_benefit = 0.0
+            for view in remaining:
+                size = sizes[view.mask]
+                if size > budget_left:
+                    continue
+                view_cost = costs[view.mask]
+                benefit = 0.0
+                for mask, weight in query_masks:
+                    if view.covers_mask(mask) and view_cost < current[mask]:
+                        benefit += weight * (current[mask] - view_cost)
+                score = benefit / max(size, 1)
+                if score > best_score:
+                    best_score = score
+                    best_benefit = benefit
+                    best_view = view
+            if best_view is None:
+                break
+            selected.append(best_view)
+            remaining.remove(best_view)
+            budget_left -= sizes[best_view.mask]
+            steps.append(SelectionStep(best_view, best_benefit,
+                                       costs[best_view.mask]))
+            view_cost = costs[best_view.mask]
+            for mask, _weight in query_masks:
+                if best_view.covers_mask(mask) and view_cost < current[mask]:
+                    current[mask] = view_cost
+
+        total = evaluate_selection_cost(
+            [v.mask for v in selected], query_masks, costs, base_cost)
+        return SelectionResult(
+            strategy=self.strategy,
+            cost_model=model.describe(),
+            views=selected,
+            steps=steps,
+            estimated_workload_cost=total,
+            select_seconds=time.perf_counter() - start,
+        )

@@ -1,0 +1,132 @@
+"""Greedy view selection (Harinarayan–Rajaraman–Ullman adapted to SOFOS).
+
+Following the paper (§3): "Given a set of selected views, the greedy
+approach exploits the estimated time from the cost function and compares
+the expected running time of a set of queries with and without including
+the candidate view."
+
+The *query set* is either an explicit workload of analytical queries or —
+when none is given — the lattice itself (every view doubles as the query
+asking for its granularity), which is the classic HRU setting.  The cost
+to answer a query is the model's estimate of the cheapest selected view
+able to answer it, falling back to the model's base-graph cost.  Ties are
+broken by a seeded RNG, so the constant (random) cost model degenerates
+into a uniformly random k-subset exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Sequence
+
+from ..errors import SelectionError
+from ..cube.lattice import ViewLattice
+from ..cube.query import AnalyticalQuery
+from ..cube.view import ViewDefinition
+from ..cost.base import CostModel
+from ..cost.profiler import LatticeProfile
+from .plans import SelectionResult, SelectionStep
+
+__all__ = ["GreedySelector", "workload_masks", "evaluate_selection_cost"]
+
+
+def workload_masks(lattice: ViewLattice,
+                   workload: Sequence[AnalyticalQuery] | None
+                   ) -> list[tuple[int, float]]:
+    """(required mask, weight) pairs for the query set driving selection."""
+    if workload:
+        masks: dict[int, float] = {}
+        for query in workload:
+            masks[query.required_mask] = masks.get(query.required_mask, 0.0) + 1.0
+        return sorted(masks.items())
+    return [(view.mask, 1.0) for view in lattice]
+
+
+def evaluate_selection_cost(selected_masks: Sequence[int],
+                            query_masks: Sequence[tuple[int, float]],
+                            costs: dict[int, float],
+                            base_cost: float) -> float:
+    """Total estimated cost of a query set under a set of selected views."""
+    total = 0.0
+    for required, weight in query_masks:
+        best = base_cost
+        for mask in selected_masks:
+            if (required & mask) == required:
+                candidate = costs[mask]
+                if candidate < best:
+                    best = candidate
+        total += weight * best
+    return total
+
+
+class GreedySelector:
+    """Benefit-greedy selection of k views under a cost model."""
+
+    strategy = "greedy"
+
+    def __init__(self, cost_model: CostModel, seed: int = 0,
+                 per_unit_space: bool = False) -> None:
+        self._model = cost_model
+        self._seed = seed
+        self._per_unit_space = per_unit_space
+
+    def select(self, lattice: ViewLattice, profile: LatticeProfile, k: int,
+               workload: Sequence[AnalyticalQuery] | None = None
+               ) -> SelectionResult:
+        """Pick up to ``k`` views maximizing cumulative benefit."""
+        if k < 0:
+            raise SelectionError(f"k must be non-negative, got {k}")
+        start = time.perf_counter()
+        model = self._model
+        model.prepare(profile)
+        rng = random.Random(self._seed)
+
+        costs = {view.mask: model.cost(view, profile) for view in lattice}
+        base_cost = model.base_cost(profile)
+        query_masks = workload_masks(lattice, workload)
+
+        # current cheapest answer-cost per query mask
+        current: dict[int, float] = {mask: base_cost for mask, _ in query_masks}
+
+        remaining = list(lattice)
+        selected: list[ViewDefinition] = []
+        steps: list[SelectionStep] = []
+        for _round in range(min(k, len(remaining))):
+            rng.shuffle(remaining)  # seeded tie-breaking (random model!)
+            best_view: ViewDefinition | None = None
+            best_benefit = -1.0
+            for view in remaining:
+                view_cost = costs[view.mask]
+                benefit = 0.0
+                for mask, weight in query_masks:
+                    if view.covers_mask(mask) and view_cost < current[mask]:
+                        benefit += weight * (current[mask] - view_cost)
+                if self._per_unit_space:
+                    size = max(profile.triples(view), 1)
+                    benefit /= size
+                if benefit > best_benefit:
+                    best_benefit = benefit
+                    best_view = view
+            if best_view is None:
+                break
+            selected.append(best_view)
+            remaining.remove(best_view)
+            steps.append(SelectionStep(best_view, best_benefit,
+                                       costs[best_view.mask]))
+            view_cost = costs[best_view.mask]
+            for mask, _weight in query_masks:
+                if best_view.covers_mask(mask) and view_cost < current[mask]:
+                    current[mask] = view_cost
+
+        total = evaluate_selection_cost(
+            [v.mask for v in selected], query_masks, costs, base_cost)
+        return SelectionResult(
+            strategy=self.strategy
+            + ("/unit-space" if self._per_unit_space else ""),
+            cost_model=model.describe(),
+            views=selected,
+            steps=steps,
+            estimated_workload_cost=total,
+            select_seconds=time.perf_counter() - start,
+        )

@@ -1,0 +1,47 @@
+"""Selection results: what was chosen, why, and at what estimated cost."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..cube.view import ViewDefinition
+
+__all__ = ["SelectionStep", "SelectionResult"]
+
+
+@dataclass(frozen=True)
+class SelectionStep:
+    """One greedy round: the chosen view and its marginal benefit."""
+
+    view: ViewDefinition
+    benefit: float
+    estimated_cost: float
+
+
+@dataclass
+class SelectionResult:
+    """The outcome of a view-selection run."""
+
+    strategy: str
+    cost_model: str
+    views: list[ViewDefinition]
+    steps: list[SelectionStep] = field(default_factory=list)
+    estimated_workload_cost: float = 0.0
+    select_seconds: float = 0.0
+
+    @property
+    def masks(self) -> frozenset[int]:
+        return frozenset(v.mask for v in self.views)
+
+    @property
+    def labels(self) -> list[str]:
+        return [v.label for v in self.views]
+
+    def describe(self) -> str:
+        picked = ", ".join(self.labels) or "(none)"
+        return (f"{self.strategy}[{self.cost_model}] -> {picked} "
+                f"(est. workload cost {self.estimated_workload_cost:.1f})")
+
+    def __repr__(self) -> str:
+        return f"<SelectionResult {self.describe()}>"

@@ -1,0 +1,20 @@
+"""A SPARQL SELECT engine for the analytical fragment.
+
+Pipeline: ``parse_query`` → :class:`SelectQuery` AST → ``translate_query``
+→ algebra → :class:`Executor` streams solutions → :class:`ResultTable`.
+Most callers only need :class:`QueryEngine`.
+"""
+
+from .algebra import translate_group, translate_query
+from .ast import AggregateExpr, Expression, GroupPattern, ProjectionItem, \
+    SelectQuery
+from .engine import PreparedQuery, QueryEngine
+from .executor import Executor
+from .parser import parse_query
+from .results import ResultTable
+
+__all__ = [
+    "AggregateExpr", "Executor", "Expression", "GroupPattern",
+    "PreparedQuery", "ProjectionItem", "QueryEngine", "ResultTable",
+    "SelectQuery", "parse_query", "translate_group", "translate_query",
+]

@@ -1,0 +1,184 @@
+"""Aggregate accumulators: COUNT, SUM, AVG, MIN, MAX, SAMPLE, GROUP_CONCAT.
+
+Each accumulator consumes one evaluated operand term per solution (``None``
+for unbound/error) and produces a final term.  Error semantics follow
+SPARQL: a type error anywhere inside SUM/AVG/MIN/MAX poisons that group's
+aggregate (its value becomes unbound); COUNT simply skips unbound operands.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ExpressionError
+from ..rdf.terms import Literal, Term, typed_literal
+from .values import numeric_result, order_key, string_value, to_number
+
+__all__ = ["make_accumulator", "Accumulator"]
+
+
+class Accumulator:
+    """Base accumulator; subclasses implement ``_add`` and ``result``."""
+
+    def __init__(self, distinct: bool) -> None:
+        self._distinct = distinct
+        self._seen: set[Term] | None = set() if distinct else None
+        self._failed = False
+
+    def add(self, term: Optional[Term]) -> None:
+        if self._failed:
+            return
+        if self._seen is not None:
+            if term in self._seen:
+                return
+            self._seen.add(term)  # type: ignore[arg-type]
+        try:
+            self._add(term)
+        except ExpressionError:
+            self._failed = True
+
+    def _add(self, term: Optional[Term]) -> None:
+        raise NotImplementedError
+
+    def result(self) -> Optional[Term]:
+        raise NotImplementedError
+
+
+class _Count(Accumulator):
+    def __init__(self, distinct: bool) -> None:
+        super().__init__(distinct)
+        self._n = 0
+
+    def _add(self, term: Optional[Term]) -> None:
+        if term is not None:
+            self._n += 1
+
+    def result(self) -> Optional[Term]:
+        return typed_literal(self._n)
+
+
+class _CountStar(Accumulator):
+    """COUNT(*) counts solutions, not bound values; DISTINCT is handled
+    upstream (over whole solution rows) by the Group operator."""
+
+    def __init__(self, distinct: bool) -> None:
+        super().__init__(distinct=False)
+        self._n = 0
+
+    def _add(self, term: Optional[Term]) -> None:
+        self._n += 1
+
+    def result(self) -> Optional[Term]:
+        return typed_literal(self._n)
+
+
+class _Sum(Accumulator):
+    def __init__(self, distinct: bool) -> None:
+        super().__init__(distinct)
+        self._total: int | float = 0
+        self._operands: list[Term] = []
+
+    def _add(self, term: Optional[Term]) -> None:
+        if term is None:
+            raise ExpressionError("SUM over unbound value")
+        self._total += to_number(term)
+        if len(self._operands) < 2:
+            self._operands.append(term)
+
+    def result(self) -> Optional[Term]:
+        if self._failed:
+            return None
+        return numeric_result(self._total)
+
+
+class _Avg(Accumulator):
+    def __init__(self, distinct: bool) -> None:
+        super().__init__(distinct)
+        self._total: int | float = 0
+        self._n = 0
+
+    def _add(self, term: Optional[Term]) -> None:
+        if term is None:
+            raise ExpressionError("AVG over unbound value")
+        self._total += to_number(term)
+        self._n += 1
+
+    def result(self) -> Optional[Term]:
+        if self._failed:
+            return None
+        if self._n == 0:
+            return typed_literal(0)
+        return typed_literal(self._total / self._n)
+
+
+class _MinMax(Accumulator):
+    def __init__(self, distinct: bool, keep_max: bool) -> None:
+        super().__init__(distinct)
+        self._keep_max = keep_max
+        self._best: Optional[Term] = None
+        self._best_key: tuple | None = None
+
+    def _add(self, term: Optional[Term]) -> None:
+        if term is None:
+            raise ExpressionError("MIN/MAX over unbound value")
+        key = order_key(term)
+        if self._best_key is None:
+            self._best, self._best_key = term, key
+        elif self._keep_max:
+            if key > self._best_key:
+                self._best, self._best_key = term, key
+        elif key < self._best_key:
+            self._best, self._best_key = term, key
+
+    def result(self) -> Optional[Term]:
+        return None if self._failed else self._best
+
+
+class _Sample(Accumulator):
+    def __init__(self, distinct: bool) -> None:
+        super().__init__(distinct=False)
+        self._value: Optional[Term] = None
+
+    def _add(self, term: Optional[Term]) -> None:
+        if self._value is None and term is not None:
+            self._value = term
+
+    def result(self) -> Optional[Term]:
+        return self._value
+
+
+class _GroupConcat(Accumulator):
+    def __init__(self, distinct: bool, separator: str) -> None:
+        super().__init__(distinct)
+        self._separator = separator
+        self._parts: list[str] = []
+
+    def _add(self, term: Optional[Term]) -> None:
+        if term is None:
+            raise ExpressionError("GROUP_CONCAT over unbound value")
+        self._parts.append(string_value(term))
+
+    def result(self) -> Optional[Term]:
+        if self._failed:
+            return None
+        return Literal(self._separator.join(self._parts))
+
+
+def make_accumulator(name: str, distinct: bool, separator: str = " ",
+                     count_star: bool = False) -> Accumulator:
+    """Factory for the accumulator implementing aggregate ``name``."""
+    if name == "COUNT":
+        return _CountStar(distinct) if count_star else _Count(distinct)
+    if name == "SUM":
+        return _Sum(distinct)
+    if name == "AVG":
+        return _Avg(distinct)
+    if name == "MIN":
+        return _MinMax(distinct, keep_max=False)
+    if name == "MAX":
+        return _MinMax(distinct, keep_max=True)
+    if name == "SAMPLE":
+        return _Sample(distinct)
+    if name == "GROUP_CONCAT":
+        return _GroupConcat(distinct, separator)
+    raise ExpressionError(f"unknown aggregate {name}")

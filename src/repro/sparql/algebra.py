@@ -1,0 +1,261 @@
+"""Translation of parsed queries into executable algebra.
+
+The algebra is a small tree of operators (BGP, Join, LeftJoin, Filter,
+Union, Extend, Table, Group, Project, Distinct, OrderBy, Slice).  The
+non-obvious part is aggregation: every ``AggregateExpr`` in the projection,
+HAVING, or ORDER BY is pulled out into the Group operator under a fresh
+internal variable, and the surrounding expression is rewritten to reference
+that variable — after grouping, aggregates are just bindings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import QueryEvaluationError
+from ..rdf.terms import Term, Variable
+from ..rdf.triples import TriplePattern
+from .ast import AggregateExpr, AndExpr, ArithExpr, BGPElement, BindElement, \
+    CompareExpr, ExistsExpr, Expression, FilterElement, FuncCall, \
+    GroupPattern, InExpr, NegExpr, NotExpr, OptionalElement, OrderCondition, \
+    OrExpr, ProjectionItem, SelectQuery, TermExpr, UnionElement, \
+    ValuesElement, VarExpr
+
+__all__ = [
+    "AlgebraOp", "UnitOp", "BGPOp", "JoinOp", "LeftJoinOp", "FilterOp",
+    "UnionOp", "ExtendOp", "TableOp", "GroupOp", "ProjectOp", "DistinctOp",
+    "OrderByOp", "SliceOp", "translate_query", "translate_group",
+]
+
+
+class AlgebraOp:
+    """Base class for algebra operators."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class UnitOp(AlgebraOp):
+    """The identity: a single empty solution."""
+
+
+@dataclass(frozen=True)
+class BGPOp(AlgebraOp):
+    patterns: tuple[TriplePattern, ...]
+
+
+@dataclass(frozen=True)
+class JoinOp(AlgebraOp):
+    left: AlgebraOp
+    right: AlgebraOp
+
+
+@dataclass(frozen=True)
+class LeftJoinOp(AlgebraOp):
+    left: AlgebraOp
+    right: AlgebraOp
+
+
+@dataclass(frozen=True)
+class FilterOp(AlgebraOp):
+    expression: Expression
+    child: AlgebraOp
+
+
+@dataclass(frozen=True)
+class UnionOp(AlgebraOp):
+    branches: tuple[AlgebraOp, ...]
+
+
+@dataclass(frozen=True)
+class ExtendOp(AlgebraOp):
+    child: AlgebraOp
+    var: Variable
+    expression: Expression
+
+
+@dataclass(frozen=True)
+class TableOp(AlgebraOp):
+    variables: tuple[Variable, ...]
+    rows: tuple[tuple[Optional[Term], ...], ...]
+
+
+@dataclass(frozen=True)
+class GroupOp(AlgebraOp):
+    child: AlgebraOp
+    keys: tuple[Variable, ...]
+    aggregates: tuple[tuple[Variable, AggregateExpr], ...]
+
+
+@dataclass(frozen=True)
+class ProjectOp(AlgebraOp):
+    child: AlgebraOp
+    variables: tuple[Variable, ...]
+
+
+@dataclass(frozen=True)
+class DistinctOp(AlgebraOp):
+    child: AlgebraOp
+
+
+@dataclass(frozen=True)
+class OrderByOp(AlgebraOp):
+    child: AlgebraOp
+    conditions: tuple[OrderCondition, ...]
+
+
+@dataclass(frozen=True)
+class SliceOp(AlgebraOp):
+    child: AlgebraOp
+    offset: int
+    limit: Optional[int]
+
+
+def _join(left: AlgebraOp, right: AlgebraOp) -> AlgebraOp:
+    if isinstance(left, UnitOp):
+        return right
+    if isinstance(right, UnitOp):
+        return left
+    if isinstance(left, BGPOp) and isinstance(right, BGPOp):
+        return BGPOp(left.patterns + right.patterns)
+    return JoinOp(left, right)
+
+
+def translate_group(group: GroupPattern) -> AlgebraOp:
+    """Translate a group graph pattern; FILTERs apply group-wide."""
+    op: AlgebraOp = UnitOp()
+    filters: list[Expression] = []
+    for element in group.elements:
+        if isinstance(element, BGPElement):
+            op = _join(op, BGPOp(element.patterns))
+        elif isinstance(element, FilterElement):
+            filters.append(element.expression)
+        elif isinstance(element, OptionalElement):
+            op = LeftJoinOp(op, translate_group(element.group))
+        elif isinstance(element, UnionElement):
+            op = _join(op, UnionOp(tuple(
+                translate_group(b) for b in element.branches)))
+        elif isinstance(element, BindElement):
+            op = ExtendOp(op, element.var, element.expression)
+        elif isinstance(element, ValuesElement):
+            op = _join(op, TableOp(element.variables, element.rows))
+        else:  # pragma: no cover - parser emits only the above
+            raise QueryEvaluationError(
+                f"unknown pattern element {type(element).__name__}")
+    for expression in filters:
+        op = FilterOp(expression, op)
+    return op
+
+
+class _AggregateCollector:
+    """Allocates internal variables for aggregate sub-expressions.
+
+    Structurally identical aggregates (``SUM(?pop)`` used twice) share one
+    accumulator/variable.
+    """
+
+    def __init__(self) -> None:
+        self.by_expr: dict[AggregateExpr, Variable] = {}
+
+    def var_for(self, agg: AggregateExpr) -> Variable:
+        var = self.by_expr.get(agg)
+        if var is None:
+            var = Variable(f"__agg{len(self.by_expr)}")
+            self.by_expr[agg] = var
+        return var
+
+    def rewrite(self, expr: Expression) -> Expression:
+        """Replace every aggregate sub-expression with its internal var."""
+        if isinstance(expr, AggregateExpr):
+            return VarExpr(self.var_for(expr))
+        if isinstance(expr, (VarExpr, TermExpr)):
+            return expr
+        if isinstance(expr, OrExpr):
+            return OrExpr(self.rewrite(expr.left), self.rewrite(expr.right))
+        if isinstance(expr, AndExpr):
+            return AndExpr(self.rewrite(expr.left), self.rewrite(expr.right))
+        if isinstance(expr, NotExpr):
+            return NotExpr(self.rewrite(expr.operand))
+        if isinstance(expr, NegExpr):
+            return NegExpr(self.rewrite(expr.operand))
+        if isinstance(expr, CompareExpr):
+            return CompareExpr(expr.op, self.rewrite(expr.left),
+                               self.rewrite(expr.right))
+        if isinstance(expr, ArithExpr):
+            return ArithExpr(expr.op, self.rewrite(expr.left),
+                             self.rewrite(expr.right))
+        if isinstance(expr, FuncCall):
+            return FuncCall(expr.name,
+                            tuple(self.rewrite(a) for a in expr.args))
+        if isinstance(expr, InExpr):
+            return InExpr(self.rewrite(expr.operand),
+                          tuple(self.rewrite(o) for o in expr.options),
+                          expr.negated)
+        if isinstance(expr, ExistsExpr):
+            return expr
+        raise QueryEvaluationError(
+            f"cannot rewrite expression node {type(expr).__name__}")
+
+
+def translate_query(query: SelectQuery) -> AlgebraOp:
+    """Translate a SELECT query into its executable algebra tree."""
+    op = translate_group(query.where)
+    projection = list(query.projection)
+    having = list(query.having)
+    order_by = list(query.order_by)
+
+    if query.has_aggregates:
+        collector = _AggregateCollector()
+        rewritten: list[ProjectionItem] = []
+        group_set = set(query.group_by)
+        for item in projection:
+            if item.expression is None:
+                if item.var not in group_set:
+                    raise QueryEvaluationError(
+                        f"variable ?{item.var.name} is projected but neither "
+                        "grouped nor aggregated")
+                rewritten.append(item)
+            else:
+                new_expr = collector.rewrite(item.expression)
+                _check_group_safety(new_expr, group_set)
+                rewritten.append(ProjectionItem(item.var, new_expr))
+        projection = rewritten
+        having = [collector.rewrite(h) for h in having]
+        order_by = [OrderCondition(collector.rewrite(c.expression),
+                                   c.ascending) for c in order_by]
+        aggregates = tuple((var, agg) for agg, var in
+                           collector.by_expr.items())
+        op = GroupOp(op, query.group_by, aggregates)
+        for condition in having:
+            op = FilterOp(condition, op)
+
+    for item in projection:
+        if item.expression is not None:
+            op = ExtendOp(op, item.var, item.expression)
+
+    if order_by:
+        op = OrderByOp(op, tuple(order_by))
+
+    op = ProjectOp(op, tuple(query.projected_variables()))
+
+    if query.distinct:
+        op = DistinctOp(op)
+    if query.limit is not None or query.offset:
+        op = SliceOp(op, query.offset, query.limit)
+    return op
+
+
+def _check_group_safety(expr: Expression, group_vars: set[Variable]) -> None:
+    """Reject raw (non-aggregated) variables outside the GROUP BY keys.
+
+    After aggregate rewriting, any remaining variable reference must be a
+    group key or an internal aggregate variable.
+    """
+    for var in expr.variables():
+        if var.name.startswith("__agg"):
+            continue
+        if var not in group_vars:
+            raise QueryEvaluationError(
+                f"variable ?{var.name} used in a projection expression is "
+                "neither grouped nor aggregated")

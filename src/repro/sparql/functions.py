@@ -1,0 +1,305 @@
+"""Builtin SPARQL functions.
+
+Each function receives already-evaluated argument terms and returns a term.
+Functions with non-strict argument evaluation (``IF``, ``COALESCE``,
+``BOUND``) are special-cased in the evaluator and are listed here only so
+the parser recognizes their names.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Optional
+
+from ..errors import ExpressionError
+from ..rdf.terms import XSD, BlankNode, IRI, Literal, Term, typed_literal
+from .values import string_value, to_number
+
+__all__ = ["BUILTIN_NAMES", "LAZY_BUILTINS", "call_builtin"]
+
+#: Builtins evaluated lazily by the evaluator itself.
+LAZY_BUILTINS = frozenset({"BOUND", "IF", "COALESCE"})
+
+_Impl = Callable[..., Term]
+_REGISTRY: dict[str, tuple[int, int, _Impl]] = {}
+
+
+def _register(name: str, min_args: int, max_args: int):
+    def wrap(fn: _Impl) -> _Impl:
+        _REGISTRY[name] = (min_args, max_args, fn)
+        return fn
+    return wrap
+
+
+def call_builtin(name: str, args: list[Optional[Term]]) -> Term:
+    """Dispatch a strict builtin call; raises ExpressionError on type errors."""
+    entry = _REGISTRY.get(name)
+    if entry is None:
+        raise ExpressionError(f"unknown function {name}")
+    min_args, max_args, fn = entry
+    if not (min_args <= len(args) <= max_args):
+        raise ExpressionError(
+            f"{name} expects {min_args}..{max_args} arguments, got {len(args)}")
+    return fn(*args)
+
+
+def _require_literal(term: Optional[Term], who: str) -> Literal:
+    if not isinstance(term, Literal):
+        raise ExpressionError(f"{who} requires a literal, got {term!r}")
+    return term
+
+
+def _string_literal_like(template: Literal, text: str) -> Literal:
+    """Build a string result carrying the language tag of the input."""
+    if template.language:
+        return Literal(text, language=template.language)
+    return Literal(text)
+
+
+@_register("STR", 1, 1)
+def _str(term: Optional[Term]) -> Term:
+    return Literal(string_value(term))
+
+
+@_register("LANG", 1, 1)
+def _lang(term: Optional[Term]) -> Term:
+    lit = _require_literal(term, "LANG")
+    return Literal(lit.language or "")
+
+
+@_register("LANGMATCHES", 2, 2)
+def _langmatches(tag: Optional[Term], pattern: Optional[Term]) -> Term:
+    tag_text = string_value(tag).lower()
+    pattern_text = string_value(pattern).lower()
+    if pattern_text == "*":
+        match = bool(tag_text)
+    else:
+        match = tag_text == pattern_text or tag_text.startswith(
+            pattern_text + "-")
+    return typed_literal(match)
+
+
+@_register("DATATYPE", 1, 1)
+def _datatype(term: Optional[Term]) -> Term:
+    lit = _require_literal(term, "DATATYPE")
+    return lit.datatype
+
+
+@_register("IRI", 1, 1)
+@_register("URI", 1, 1)
+def _iri(term: Optional[Term]) -> Term:
+    if isinstance(term, IRI):
+        return term
+    return IRI(string_value(term))
+
+
+@_register("BNODE", 0, 1)
+def _bnode(term: Optional[Term] = None) -> Term:
+    if term is None:
+        return BlankNode.fresh()
+    return BlankNode.fresh(string_value(term) + "_")
+
+
+@_register("ABS", 1, 1)
+def _abs(term: Optional[Term]) -> Term:
+    value = to_number(term)
+    return typed_literal(abs(value)) if isinstance(value, int) \
+        else typed_literal(float(abs(value)))
+
+
+@_register("CEIL", 1, 1)
+def _ceil(term: Optional[Term]) -> Term:
+    import math
+    return typed_literal(int(math.ceil(to_number(term))))
+
+
+@_register("FLOOR", 1, 1)
+def _floor(term: Optional[Term]) -> Term:
+    import math
+    return typed_literal(int(math.floor(to_number(term))))
+
+
+@_register("ROUND", 1, 1)
+def _round(term: Optional[Term]) -> Term:
+    import math
+    return typed_literal(int(math.floor(to_number(term) + 0.5)))
+
+
+@_register("STRLEN", 1, 1)
+def _strlen(term: Optional[Term]) -> Term:
+    return typed_literal(len(string_value(term)))
+
+
+@_register("UCASE", 1, 1)
+def _ucase(term: Optional[Term]) -> Term:
+    lit = _require_literal(term, "UCASE")
+    return _string_literal_like(lit, lit.lexical.upper())
+
+
+@_register("LCASE", 1, 1)
+def _lcase(term: Optional[Term]) -> Term:
+    lit = _require_literal(term, "LCASE")
+    return _string_literal_like(lit, lit.lexical.lower())
+
+
+@_register("CONCAT", 0, 16)
+def _concat(*terms: Optional[Term]) -> Term:
+    return Literal("".join(string_value(t) for t in terms))
+
+
+@_register("SUBSTR", 2, 3)
+def _substr(source: Optional[Term], start: Optional[Term],
+            length: Optional[Term] = None) -> Term:
+    lit = _require_literal(source, "SUBSTR")
+    begin = int(to_number(start)) - 1  # SPARQL is 1-based
+    if begin < 0:
+        begin = 0
+    if length is None:
+        return _string_literal_like(lit, lit.lexical[begin:])
+    count = int(to_number(length))
+    return _string_literal_like(lit, lit.lexical[begin:begin + count])
+
+
+@_register("CONTAINS", 2, 2)
+def _contains(haystack: Optional[Term], needle: Optional[Term]) -> Term:
+    return typed_literal(string_value(needle) in string_value(haystack))
+
+
+@_register("STRSTARTS", 2, 2)
+def _strstarts(haystack: Optional[Term], needle: Optional[Term]) -> Term:
+    return typed_literal(string_value(haystack).startswith(string_value(needle)))
+
+
+@_register("STRENDS", 2, 2)
+def _strends(haystack: Optional[Term], needle: Optional[Term]) -> Term:
+    return typed_literal(string_value(haystack).endswith(string_value(needle)))
+
+
+@_register("STRBEFORE", 2, 2)
+def _strbefore(haystack: Optional[Term], needle: Optional[Term]) -> Term:
+    text = string_value(haystack)
+    sep = string_value(needle)
+    idx = text.find(sep)
+    return Literal(text[:idx] if idx >= 0 else "")
+
+
+@_register("STRAFTER", 2, 2)
+def _strafter(haystack: Optional[Term], needle: Optional[Term]) -> Term:
+    text = string_value(haystack)
+    sep = string_value(needle)
+    idx = text.find(sep)
+    return Literal(text[idx + len(sep):] if idx >= 0 else "")
+
+
+@_register("REPLACE", 3, 4)
+def _replace(source: Optional[Term], pattern: Optional[Term],
+             replacement: Optional[Term], flags: Optional[Term] = None) -> Term:
+    lit = _require_literal(source, "REPLACE")
+    re_flags = _regex_flags(flags)
+    try:
+        result = re.sub(string_value(pattern), string_value(replacement),
+                        lit.lexical, flags=re_flags)
+    except re.error as exc:
+        raise ExpressionError(f"invalid REPLACE pattern: {exc}") from exc
+    return _string_literal_like(lit, result)
+
+
+def _regex_flags(flags: Optional[Term]) -> int:
+    if flags is None:
+        return 0
+    out = 0
+    for ch in string_value(flags):
+        if ch == "i":
+            out |= re.IGNORECASE
+        elif ch == "s":
+            out |= re.DOTALL
+        elif ch == "m":
+            out |= re.MULTILINE
+        elif ch == "x":
+            out |= re.VERBOSE
+        else:
+            raise ExpressionError(f"unsupported REGEX flag {ch!r}")
+    return out
+
+
+@_register("REGEX", 2, 3)
+def _regex(text: Optional[Term], pattern: Optional[Term],
+           flags: Optional[Term] = None) -> Term:
+    try:
+        found = re.search(string_value(pattern), string_value(text),
+                          flags=_regex_flags(flags))
+    except re.error as exc:
+        raise ExpressionError(f"invalid REGEX pattern: {exc}") from exc
+    return typed_literal(found is not None)
+
+
+@_register("SAMETERM", 2, 2)
+def _sameterm(left: Optional[Term], right: Optional[Term]) -> Term:
+    if left is None or right is None:
+        raise ExpressionError("sameTerm with unbound argument")
+    return typed_literal(left == right)
+
+
+@_register("ISIRI", 1, 1)
+@_register("ISURI", 1, 1)
+def _isiri(term: Optional[Term]) -> Term:
+    if term is None:
+        raise ExpressionError("isIRI of unbound value")
+    return typed_literal(isinstance(term, IRI))
+
+
+@_register("ISBLANK", 1, 1)
+def _isblank(term: Optional[Term]) -> Term:
+    if term is None:
+        raise ExpressionError("isBlank of unbound value")
+    return typed_literal(isinstance(term, BlankNode))
+
+
+@_register("ISLITERAL", 1, 1)
+def _isliteral(term: Optional[Term]) -> Term:
+    if term is None:
+        raise ExpressionError("isLiteral of unbound value")
+    return typed_literal(isinstance(term, Literal))
+
+
+@_register("ISNUMERIC", 1, 1)
+def _isnumeric(term: Optional[Term]) -> Term:
+    return typed_literal(isinstance(term, Literal) and term.is_numeric)
+
+
+def _date_parts(term: Optional[Term]) -> list[str]:
+    lit = _require_literal(term, "date accessor")
+    m = re.match(r"(-?\d{4,})(?:-(\d\d))?(?:-(\d\d))?", lit.lexical)
+    if m is None:
+        raise ExpressionError(f"not a date value: {lit.lexical!r}")
+    return [m.group(1), m.group(2) or "", m.group(3) or ""]
+
+
+@_register("YEAR", 1, 1)
+def _year(term: Optional[Term]) -> Term:
+    return typed_literal(int(_date_parts(term)[0]))
+
+
+@_register("MONTH", 1, 1)
+def _month(term: Optional[Term]) -> Term:
+    part = _date_parts(term)[1]
+    if not part:
+        raise ExpressionError("value has no month component")
+    return typed_literal(int(part))
+
+
+@_register("DAY", 1, 1)
+def _day(term: Optional[Term]) -> Term:
+    part = _date_parts(term)[2]
+    if not part:
+        raise ExpressionError("value has no day component")
+    return typed_literal(int(part))
+
+
+@_register("ENCODE_FOR_URI", 1, 1)
+def _encode_for_uri(term: Optional[Term]) -> Term:
+    from urllib.parse import quote
+    return Literal(quote(string_value(term), safe=""))
+
+
+BUILTIN_NAMES = frozenset(_REGISTRY) | LAZY_BUILTINS

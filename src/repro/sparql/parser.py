@@ -1,0 +1,573 @@
+"""Recursive-descent parser for the SPARQL SELECT fragment.
+
+The fragment covers the paper's analytical query class and its
+specializations: basic graph patterns, FILTER, OPTIONAL, UNION, BIND,
+VALUES, GROUP BY + aggregates, HAVING, ORDER BY, DISTINCT, LIMIT/OFFSET,
+and PREFIX prologues.  ``parse_query`` is the single entry point.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import QuerySyntaxError
+from ..rdf.namespace import RDF, PrefixMap, default_prefixes
+from ..rdf.ntriples import unescape_string
+from ..rdf.terms import XSD, BlankNode, IRI, Literal, Term, TermOrVariable, \
+    Variable
+from ..rdf.triples import TriplePattern
+from .ast import AGGREGATE_NAMES, AggregateExpr, AndExpr, ArithExpr, \
+    BGPElement, BindElement, CompareExpr, ExistsExpr, Expression, \
+    FilterElement, FuncCall, GroupPattern, InExpr, NegExpr, NotExpr, \
+    OptionalElement, OrderCondition, OrExpr, PatternElement, ProjectionItem, \
+    SelectQuery, TermExpr, UnionElement, ValuesElement, VarExpr
+from .functions import BUILTIN_NAMES
+from .tokens import Token, tokenize
+
+__all__ = ["parse_query"]
+
+
+def parse_query(text: str, prefixes: PrefixMap | None = None) -> SelectQuery:
+    """Parse a SPARQL SELECT query string into a :class:`SelectQuery`.
+
+    ``prefixes`` seeds the prefix table (the query's own PREFIX declarations
+    are added on top of it and of the library defaults).
+    """
+    return _Parser(text, prefixes).parse()
+
+
+class _Parser:
+    def __init__(self, text: str, prefixes: PrefixMap | None = None) -> None:
+        self._text = text
+        self._tokens = list(tokenize(text))
+        self._pos = 0
+        self._prefixes = prefixes.copy() if prefixes is not None \
+            else default_prefixes()
+        self._base = ""
+
+    # -- token plumbing ----------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> Token:
+        idx = min(self._pos + ahead, len(self._tokens) - 1)
+        return self._tokens[idx]
+
+    def _next(self) -> Token:
+        tok = self._tokens[self._pos]
+        if tok.kind != "eof":
+            self._pos += 1
+        return tok
+
+    def _error(self, message: str, tok: Token | None = None) -> QuerySyntaxError:
+        tok = tok or self._peek()
+        return QuerySyntaxError(message, tok.line, tok.column)
+
+    def _expect_keyword(self, *names: str) -> Token:
+        tok = self._next()
+        if not tok.is_keyword(*names):
+            raise self._error(f"expected {'/'.join(names)}, got {tok.value!r}", tok)
+        return tok
+
+    def _expect_op(self, symbol: str) -> Token:
+        tok = self._next()
+        if not tok.is_op(symbol):
+            raise self._error(f"expected {symbol!r}, got {tok.value!r}", tok)
+        return tok
+
+    def _accept_op(self, symbol: str) -> bool:
+        if self._peek().is_op(symbol):
+            self._next()
+            return True
+        return False
+
+    def _accept_keyword(self, *names: str) -> bool:
+        if self._peek().is_keyword(*names):
+            self._next()
+            return True
+        return False
+
+    # -- entry ---------------------------------------------------------------
+
+    def parse(self) -> SelectQuery:
+        self._prologue()
+        query = self._select_query()
+        tok = self._peek()
+        if tok.kind != "eof":
+            raise self._error(f"trailing input {tok.value!r}", tok)
+        return query
+
+    def _prologue(self) -> None:
+        while True:
+            tok = self._peek()
+            if tok.is_keyword("PREFIX"):
+                self._next()
+                pname = self._next()
+                if pname.kind != "pname":
+                    raise self._error("expected prefix name", pname)
+                prefix = pname.value.rstrip(":") if pname.value.endswith(":") \
+                    else pname.value.split(":", 1)[0]
+                iri = self._next()
+                if iri.kind != "iri":
+                    raise self._error("expected IRI after prefix", iri)
+                self._prefixes.bind(prefix, iri.value[1:-1])
+            elif tok.is_keyword("BASE"):
+                self._next()
+                iri = self._next()
+                if iri.kind != "iri":
+                    raise self._error("expected IRI after BASE", iri)
+                self._base = iri.value[1:-1]
+            else:
+                return
+
+    def _select_query(self) -> SelectQuery:
+        tok = self._peek()
+        if tok.is_keyword("ASK", "CONSTRUCT", "DESCRIBE"):
+            raise self._error(
+                f"{tok.value} queries are outside the supported fragment "
+                "(SELECT only)", tok)
+        self._expect_keyword("SELECT")
+        distinct = False
+        if self._accept_keyword("DISTINCT"):
+            distinct = True
+        else:
+            self._accept_keyword("REDUCED")
+        star = False
+        projection: list[ProjectionItem] = []
+        if self._accept_op("*"):
+            star = True
+        else:
+            while True:
+                tok = self._peek()
+                if tok.kind == "var":
+                    self._next()
+                    projection.append(ProjectionItem(Variable(tok.value)))
+                elif tok.is_op("("):
+                    self._next()
+                    expr = self._expression()
+                    self._expect_keyword("AS")
+                    var_tok = self._next()
+                    if var_tok.kind != "var":
+                        raise self._error("expected variable after AS", var_tok)
+                    self._expect_op(")")
+                    projection.append(
+                        ProjectionItem(Variable(var_tok.value), expr))
+                else:
+                    break
+            if not projection:
+                raise self._error("SELECT needs at least one item or *")
+        where = self._where_clause()
+        group_by: tuple[Variable, ...] = ()
+        having: tuple[Expression, ...] = ()
+        order_by: tuple[OrderCondition, ...] = ()
+        limit: Optional[int] = None
+        offset = 0
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_vars: list[Variable] = []
+            while self._peek().kind == "var":
+                group_vars.append(Variable(self._next().value))
+            if not group_vars:
+                raise self._error("GROUP BY needs at least one variable")
+            group_by = tuple(group_vars)
+        if self._accept_keyword("HAVING"):
+            constraints: list[Expression] = []
+            while self._peek().is_op("("):
+                self._expect_op("(")
+                constraints.append(self._expression())
+                self._expect_op(")")
+            if not constraints:
+                raise self._error("HAVING needs at least one constraint")
+            having = tuple(constraints)
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            conditions: list[OrderCondition] = []
+            while True:
+                tok = self._peek()
+                if tok.is_keyword("ASC", "DESC"):
+                    self._next()
+                    ascending = tok.value == "ASC"
+                    self._expect_op("(")
+                    expr = self._expression()
+                    self._expect_op(")")
+                    conditions.append(OrderCondition(expr, ascending))
+                elif tok.kind == "var":
+                    self._next()
+                    conditions.append(
+                        OrderCondition(VarExpr(Variable(tok.value))))
+                elif tok.is_op("("):
+                    self._next()
+                    expr = self._expression()
+                    self._expect_op(")")
+                    conditions.append(OrderCondition(expr))
+                else:
+                    break
+            if not conditions:
+                raise self._error("ORDER BY needs at least one condition")
+            order_by = tuple(conditions)
+        while True:
+            if self._accept_keyword("LIMIT"):
+                limit = self._integer()
+            elif self._accept_keyword("OFFSET"):
+                offset = self._integer()
+            else:
+                break
+        return SelectQuery(
+            projection=tuple(projection),
+            where=where,
+            star=star,
+            distinct=distinct,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
+            text=self._text,
+        )
+
+    def _integer(self) -> int:
+        tok = self._next()
+        if tok.kind != "number" or not tok.value.isdigit():
+            raise self._error("expected a non-negative integer", tok)
+        return int(tok.value)
+
+    # -- group graph patterns -------------------------------------------------
+
+    def _where_clause(self) -> GroupPattern:
+        self._accept_keyword("WHERE")
+        return self._group_graph_pattern()
+
+    def _group_graph_pattern(self) -> GroupPattern:
+        self._expect_op("{")
+        elements: list[PatternElement] = []
+        bgp: list[TriplePattern] = []
+
+        def flush_bgp() -> None:
+            if bgp:
+                elements.append(BGPElement(tuple(bgp)))
+                bgp.clear()
+
+        while True:
+            tok = self._peek()
+            if tok.is_op("}"):
+                self._next()
+                flush_bgp()
+                return GroupPattern(tuple(elements))
+            if tok.kind == "eof":
+                raise self._error("unterminated group pattern", tok)
+            if tok.is_keyword("FILTER"):
+                self._next()
+                flush_bgp()
+                elements.append(FilterElement(self._constraint()))
+            elif tok.is_keyword("OPTIONAL"):
+                self._next()
+                flush_bgp()
+                elements.append(OptionalElement(self._group_graph_pattern()))
+            elif tok.is_keyword("BIND"):
+                self._next()
+                flush_bgp()
+                self._expect_op("(")
+                expr = self._expression()
+                self._expect_keyword("AS")
+                var_tok = self._next()
+                if var_tok.kind != "var":
+                    raise self._error("expected variable after AS", var_tok)
+                self._expect_op(")")
+                elements.append(BindElement(expr, Variable(var_tok.value)))
+            elif tok.is_keyword("VALUES"):
+                self._next()
+                flush_bgp()
+                elements.append(self._values())
+            elif tok.is_op("{"):
+                flush_bgp()
+                branches = [self._group_graph_pattern()]
+                while self._accept_keyword("UNION"):
+                    branches.append(self._group_graph_pattern())
+                if len(branches) == 1:
+                    elements.extend(branches[0].elements)
+                else:
+                    elements.append(UnionElement(tuple(branches)))
+            elif tok.is_keyword("GRAPH"):
+                raise self._error(
+                    "GRAPH patterns are outside the supported fragment; "
+                    "query the named graph directly", tok)
+            elif tok.is_op("."):
+                self._next()
+            else:
+                self._triples_same_subject(bgp)
+
+    def _values(self) -> ValuesElement:
+        tok = self._peek()
+        variables: list[Variable] = []
+        rows: list[tuple[Optional[Term], ...]] = []
+        if tok.kind == "var":
+            self._next()
+            variables.append(Variable(tok.value))
+            self._expect_op("{")
+            while not self._accept_op("}"):
+                rows.append((self._data_value(),))
+        else:
+            self._expect_op("(")
+            while self._peek().kind == "var":
+                variables.append(Variable(self._next().value))
+            self._expect_op(")")
+            self._expect_op("{")
+            while not self._accept_op("}"):
+                self._expect_op("(")
+                row: list[Optional[Term]] = []
+                while not self._accept_op(")"):
+                    row.append(self._data_value())
+                if len(row) != len(variables):
+                    raise self._error(
+                        f"VALUES row has {len(row)} terms for "
+                        f"{len(variables)} variables")
+                rows.append(tuple(row))
+        return ValuesElement(tuple(variables), tuple(rows))
+
+    def _data_value(self) -> Optional[Term]:
+        tok = self._peek()
+        if tok.is_keyword("UNDEF"):
+            self._next()
+            return None
+        term = self._graph_term(allow_var=False)
+        if isinstance(term, Variable):  # pragma: no cover - defensive
+            raise self._error("variables are not allowed in VALUES data")
+        return term
+
+    def _triples_same_subject(self, bgp: list[TriplePattern]) -> None:
+        subject = self._var_or_term()
+        while True:
+            verb = self._verb()
+            while True:
+                obj = self._var_or_term()
+                bgp.append(TriplePattern(subject, verb, obj))
+                if not self._accept_op(","):
+                    break
+            if self._accept_op(";"):
+                nxt = self._peek()
+                if nxt.is_op(".", "}") or nxt.is_keyword(
+                        "FILTER", "OPTIONAL", "BIND", "VALUES"):
+                    break
+                continue
+            break
+
+    def _verb(self) -> TermOrVariable:
+        tok = self._peek()
+        if tok.is_keyword("A"):
+            self._next()
+            return RDF.type
+        if tok.kind == "var":
+            self._next()
+            return Variable(tok.value)
+        if tok.kind in ("iri", "pname"):
+            return self._iri_like()
+        raise self._error(f"expected predicate, got {tok.value!r}", tok)
+
+    def _var_or_term(self) -> TermOrVariable:
+        return self._graph_term(allow_var=True)
+
+    def _graph_term(self, allow_var: bool) -> TermOrVariable:
+        tok = self._peek()
+        if tok.kind == "var":
+            if not allow_var:
+                raise self._error("variable not allowed here", tok)
+            self._next()
+            return Variable(tok.value)
+        if tok.kind in ("iri", "pname"):
+            return self._iri_like()
+        if tok.kind == "bnode":
+            self._next()
+            return BlankNode(tok.value[2:])
+        if tok.kind == "string":
+            return self._string_literal()
+        if tok.kind == "number":
+            self._next()
+            return _number_literal(tok.value)
+        if tok.is_op("-") or tok.is_op("+"):
+            sign = self._next().value
+            num = self._next()
+            if num.kind != "number":
+                raise self._error("expected number after sign", num)
+            return _number_literal(sign + num.value if sign == "-" else num.value)
+        if tok.is_keyword("TRUE", "FALSE"):
+            self._next()
+            return Literal(tok.value.lower(), XSD.boolean)
+        raise self._error(f"expected RDF term, got {tok.value!r}", tok)
+
+    def _iri_like(self) -> IRI:
+        tok = self._next()
+        if tok.kind == "iri":
+            raw = unescape_string(tok.value[1:-1], tok.line)
+            if self._base and "://" not in raw and not raw.startswith("urn:"):
+                raw = self._base + raw
+            return IRI(raw)
+        try:
+            return self._prefixes.expand(tok.value)
+        except KeyError as exc:
+            raise self._error(str(exc), tok) from exc
+
+    def _string_literal(self) -> Literal:
+        tok = self._next()
+        lexical = unescape_string(tok.value[1:-1], tok.line)
+        nxt = self._peek()
+        if nxt.kind == "langtag":
+            self._next()
+            return Literal(lexical, language=nxt.value[1:])
+        if nxt.is_op("^^"):
+            self._next()
+            return Literal(lexical, self._iri_like())
+        return Literal(lexical, XSD.string)
+
+    # -- expressions -----------------------------------------------------------
+
+    def _constraint(self) -> Expression:
+        tok = self._peek()
+        if tok.is_op("("):
+            self._next()
+            expr = self._expression()
+            self._expect_op(")")
+            return expr
+        return self._primary_expression()
+
+    def _expression(self) -> Expression:
+        return self._or_expression()
+
+    def _or_expression(self) -> Expression:
+        left = self._and_expression()
+        while self._accept_op("||"):
+            left = OrExpr(left, self._and_expression())
+        return left
+
+    def _and_expression(self) -> Expression:
+        left = self._relational_expression()
+        while self._accept_op("&&"):
+            left = AndExpr(left, self._relational_expression())
+        return left
+
+    def _relational_expression(self) -> Expression:
+        left = self._additive_expression()
+        tok = self._peek()
+        if tok.is_op("=", "!=", "<", "<=", ">", ">="):
+            self._next()
+            right = self._additive_expression()
+            return CompareExpr(tok.value, left, right)
+        if tok.is_keyword("IN"):
+            self._next()
+            return InExpr(left, self._expression_list(), negated=False)
+        if tok.is_keyword("NOT") and self._peek(1).is_keyword("IN"):
+            self._next()
+            self._next()
+            return InExpr(left, self._expression_list(), negated=True)
+        return left
+
+    def _expression_list(self) -> tuple[Expression, ...]:
+        self._expect_op("(")
+        items: list[Expression] = []
+        if not self._accept_op(")"):
+            items.append(self._expression())
+            while self._accept_op(","):
+                items.append(self._expression())
+            self._expect_op(")")
+        return tuple(items)
+
+    def _additive_expression(self) -> Expression:
+        left = self._multiplicative_expression()
+        while True:
+            tok = self._peek()
+            if tok.is_op("+", "-"):
+                self._next()
+                left = ArithExpr(tok.value, left,
+                                 self._multiplicative_expression())
+            else:
+                return left
+
+    def _multiplicative_expression(self) -> Expression:
+        left = self._unary_expression()
+        while True:
+            tok = self._peek()
+            if tok.is_op("*", "/"):
+                self._next()
+                left = ArithExpr(tok.value, left, self._unary_expression())
+            else:
+                return left
+
+    def _unary_expression(self) -> Expression:
+        tok = self._peek()
+        if tok.is_op("!"):
+            self._next()
+            return NotExpr(self._unary_expression())
+        if tok.is_op("-"):
+            self._next()
+            return NegExpr(self._unary_expression())
+        if tok.is_op("+"):
+            self._next()
+            return self._unary_expression()
+        return self._primary_expression()
+
+    def _primary_expression(self) -> Expression:
+        tok = self._peek()
+        if tok.is_op("("):
+            self._next()
+            expr = self._expression()
+            self._expect_op(")")
+            return expr
+        if tok.kind == "var":
+            self._next()
+            return VarExpr(Variable(tok.value))
+        if tok.kind == "keyword":
+            if tok.value in AGGREGATE_NAMES:
+                return self._aggregate()
+            if tok.value in BUILTIN_NAMES:
+                return self._builtin_call()
+            if tok.value in ("TRUE", "FALSE"):
+                self._next()
+                return TermExpr(Literal(tok.value.lower(), XSD.boolean))
+            if tok.value == "EXISTS":
+                self._next()
+                return ExistsExpr(self._group_graph_pattern(), negated=False)
+            if tok.value == "NOT" and self._peek(1).is_keyword("EXISTS"):
+                self._next()
+                self._next()
+                return ExistsExpr(self._group_graph_pattern(), negated=True)
+            raise self._error(f"unexpected keyword {tok.value!r}", tok)
+        if tok.kind in ("iri", "pname", "string", "number", "bnode"):
+            term = self._graph_term(allow_var=False)
+            assert isinstance(term, Term)
+            return TermExpr(term)
+        raise self._error(f"expected expression, got {tok.value!r}", tok)
+
+    def _aggregate(self) -> AggregateExpr:
+        name = self._next().value
+        self._expect_op("(")
+        distinct = bool(self._accept_keyword("DISTINCT"))
+        if name == "COUNT" and self._accept_op("*"):
+            self._expect_op(")")
+            return AggregateExpr("COUNT", None, distinct)
+        operand = self._expression()
+        separator = " "
+        if name == "GROUP_CONCAT" and self._accept_op(";"):
+            self._expect_keyword("SEPARATOR")
+            self._expect_op("=")
+            sep_tok = self._next()
+            if sep_tok.kind != "string":
+                raise self._error("SEPARATOR needs a string", sep_tok)
+            separator = unescape_string(sep_tok.value[1:-1], sep_tok.line)
+        self._expect_op(")")
+        return AggregateExpr(name, operand, distinct, separator)
+
+    def _builtin_call(self) -> FuncCall:
+        name = self._next().value
+        args: list[Expression] = []
+        self._expect_op("(")
+        if not self._accept_op(")"):
+            args.append(self._expression())
+            while self._accept_op(","):
+                args.append(self._expression())
+            self._expect_op(")")
+        return FuncCall(name, tuple(args))
+
+
+def _number_literal(text: str) -> Literal:
+    if text.lstrip("+-").isdigit():
+        return Literal(text, XSD.integer)
+    if "e" in text.lower():
+        return Literal(text, XSD.double)
+    return Literal(text, XSD.decimal)

@@ -1,0 +1,141 @@
+"""Query result tables.
+
+A :class:`ResultTable` is an ordered, materialized SELECT result: a header
+of variables plus rows of optional terms.  It supports the comparisons the
+test-suite and the view-rewriting equivalence checks need (order-sensitive
+and order-insensitive), and renders as aligned text for the console.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Optional
+
+from ..rdf.terms import Literal, Term, Variable
+
+__all__ = ["ResultTable"]
+
+
+class ResultTable:
+    """A materialized SELECT result."""
+
+    __slots__ = ("variables", "rows")
+
+    def __init__(self, variables: list[Variable],
+                 rows: list[tuple[Optional[Term], ...]]) -> None:
+        self.variables = list(variables)
+        self.rows = rows
+
+    @classmethod
+    def from_bindings(cls, variables: list[Variable],
+                      bindings: Iterable[dict[Variable, Term]]
+                      ) -> "ResultTable":
+        rows = [tuple(b.get(v) for v in variables) for b in bindings]
+        return cls(variables, rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple[Optional[Term], ...]]:
+        return iter(self.rows)
+
+    def __repr__(self) -> str:
+        names = ", ".join(f"?{v.name}" for v in self.variables)
+        return f"<ResultTable [{names}] with {len(self.rows)} rows>"
+
+    # -- access -----------------------------------------------------------
+
+    def column(self, var: Variable | str) -> list[Optional[Term]]:
+        """All values of one variable, in row order."""
+        idx = self._index_of(var)
+        return [row[idx] for row in self.rows]
+
+    def _index_of(self, var: Variable | str) -> int:
+        if isinstance(var, str):
+            var = Variable(var)
+        return self.variables.index(var)
+
+    def scalar(self) -> Optional[Term]:
+        """The single cell of a 1x1 result; raises ValueError otherwise."""
+        if len(self.rows) != 1 or len(self.variables) != 1:
+            raise ValueError(
+                f"scalar() needs a 1x1 result, have {len(self.rows)}x"
+                f"{len(self.variables)}")
+        return self.rows[0][0]
+
+    def python_value(self) -> Any:
+        """The single cell converted to a Python value (for aggregates)."""
+        cell = self.scalar()
+        if cell is None:
+            return None
+        if isinstance(cell, Literal):
+            return cell.to_python()
+        return cell
+
+    def to_dicts(self) -> list[dict[str, Optional[Term]]]:
+        """Rows as name→term dicts (unbound cells included as None)."""
+        names = [v.name for v in self.variables]
+        return [dict(zip(names, row)) for row in self.rows]
+
+    # -- comparison --------------------------------------------------------
+
+    def as_multiset(self) -> dict[tuple, int]:
+        """Row multiset keyed by the canonical variable order (sorted names).
+
+        Columns are reordered canonically so two tables compare even when
+        their SELECT clauses listed the variables differently, and numeric
+        literals are canonicalized to their *value* — SPARQL value equality —
+        so ``"60.0"^^xsd:decimal`` and ``"60.0"^^xsd:double`` (e.g. an AVG
+        computed directly vs. reconstructed as SUM/COUNT) count as the same
+        solution.
+        """
+        order = sorted(range(len(self.variables)),
+                       key=lambda i: self.variables[i].name)
+        out: dict[tuple, int] = {}
+        for row in self.rows:
+            key = tuple(_canonical_cell(row[i]) for i in order)
+            out[key] = out.get(key, 0) + 1
+        return out
+
+    def same_solutions(self, other: "ResultTable") -> bool:
+        """Order-insensitive equality of solutions (bag semantics)."""
+        if sorted(v.name for v in self.variables) != \
+                sorted(v.name for v in other.variables):
+            return False
+        return self.as_multiset() == other.as_multiset()
+
+    # -- rendering -----------------------------------------------------------
+
+    def render(self, max_rows: int = 50) -> str:
+        """Aligned text table (used by the console panels)."""
+        headers = [f"?{v.name}" for v in self.variables]
+        body: list[list[str]] = []
+        for row in self.rows[:max_rows]:
+            body.append(["" if cell is None else _short(cell) for cell in row])
+        widths = [len(h) for h in headers]
+        for line in body:
+            for i, cell in enumerate(line):
+                widths[i] = max(widths[i], len(cell))
+        parts = [" | ".join(h.ljust(w) for h, w in zip(headers, widths))]
+        parts.append("-+-".join("-" * w for w in widths))
+        for line in body:
+            parts.append(" | ".join(c.ljust(w) for c, w in zip(line, widths)))
+        if len(self.rows) > max_rows:
+            parts.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(parts)
+
+
+def _canonical_cell(term: Optional[Term]):
+    """Comparison key for one cell: numeric value for numeric literals."""
+    if isinstance(term, Literal) and term.is_numeric:
+        try:
+            return ("num", float(term.to_python()))
+        except Exception:  # malformed numeric literal: fall through
+            pass
+    return term
+
+
+def _short(term: Term) -> str:
+    if isinstance(term, Literal):
+        return term.lexical
+    text = term.n3()
+    return text if len(text) <= 60 else text[:57] + "..."

@@ -1,0 +1,138 @@
+"""Serializing ASTs back to SPARQL text.
+
+Used by the console panels (showing the demo's query templates and the
+rewritten view queries) and by the round-trip property tests
+(parse → serialize → parse must be identity up to whitespace).
+"""
+
+from __future__ import annotations
+
+from ..errors import SPARQLError
+from ..rdf.terms import Term, Variable
+from ..rdf.triples import TriplePattern
+from .ast import AggregateExpr, AndExpr, ArithExpr, BGPElement, BindElement, \
+    CompareExpr, ExistsExpr, Expression, FilterElement, FuncCall, \
+    GroupPattern, InExpr, NegExpr, NotExpr, OptionalElement, OrExpr, \
+    SelectQuery, TermExpr, UnionElement, ValuesElement, VarExpr
+
+__all__ = ["expression_text", "pattern_text", "query_text"]
+
+
+def expression_text(expr: Expression) -> str:
+    """Render an expression as SPARQL (fully parenthesized where nested)."""
+    if isinstance(expr, VarExpr):
+        return f"?{expr.var.name}"
+    if isinstance(expr, TermExpr):
+        return expr.term.n3()
+    if isinstance(expr, OrExpr):
+        return f"({expression_text(expr.left)} || {expression_text(expr.right)})"
+    if isinstance(expr, AndExpr):
+        return f"({expression_text(expr.left)} && {expression_text(expr.right)})"
+    if isinstance(expr, NotExpr):
+        return f"(! {expression_text(expr.operand)})"
+    if isinstance(expr, NegExpr):
+        return f"(- {expression_text(expr.operand)})"
+    if isinstance(expr, CompareExpr):
+        return (f"({expression_text(expr.left)} {expr.op} "
+                f"{expression_text(expr.right)})")
+    if isinstance(expr, ArithExpr):
+        return (f"({expression_text(expr.left)} {expr.op} "
+                f"{expression_text(expr.right)})")
+    if isinstance(expr, FuncCall):
+        args = ", ".join(expression_text(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, InExpr):
+        options = ", ".join(expression_text(o) for o in expr.options)
+        keyword = "NOT IN" if expr.negated else "IN"
+        return f"({expression_text(expr.operand)} {keyword} ({options}))"
+    if isinstance(expr, AggregateExpr):
+        inner = "*" if expr.operand is None else expression_text(expr.operand)
+        distinct = "DISTINCT " if expr.distinct else ""
+        if expr.name == "GROUP_CONCAT" and expr.separator != " ":
+            sep = expr.separator.replace("\\", "\\\\").replace('"', '\\"')
+            return f'{expr.name}({distinct}{inner}; SEPARATOR = "{sep}")'
+        return f"{expr.name}({distinct}{inner})"
+    if isinstance(expr, ExistsExpr):
+        keyword = "NOT EXISTS" if expr.negated else "EXISTS"
+        return f"{keyword} {pattern_text(expr.group)}"
+    raise SPARQLError(f"cannot serialize expression {type(expr).__name__}")
+
+
+def _position_text(position: Term | Variable) -> str:
+    return position.n3()
+
+
+def _triple_text(tp: TriplePattern) -> str:
+    return (f"{_position_text(tp.s)} {_position_text(tp.p)} "
+            f"{_position_text(tp.o)} .")
+
+
+def pattern_text(group: GroupPattern, indent: str = "  ") -> str:
+    """Render a group graph pattern with one element per line."""
+    lines: list[str] = ["{"]
+    for element in group.elements:
+        if isinstance(element, BGPElement):
+            for tp in element.patterns:
+                lines.append(indent + _triple_text(tp))
+        elif isinstance(element, FilterElement):
+            lines.append(indent
+                         + f"FILTER {expression_text(element.expression)}")
+        elif isinstance(element, OptionalElement):
+            inner = pattern_text(element.group, indent + "  ")
+            lines.append(indent + "OPTIONAL " + inner)
+        elif isinstance(element, UnionElement):
+            rendered = [pattern_text(b, indent + "  ")
+                        for b in element.branches]
+            lines.append(indent + " UNION ".join(rendered))
+        elif isinstance(element, BindElement):
+            lines.append(indent + f"BIND({expression_text(element.expression)}"
+                                  f" AS ?{element.var.name})")
+        elif isinstance(element, ValuesElement):
+            names = " ".join(f"?{v.name}" for v in element.variables)
+            rows = []
+            for row in element.rows:
+                cells = " ".join("UNDEF" if cell is None else cell.n3()
+                                 for cell in row)
+                rows.append(f"({cells})")
+            lines.append(indent + f"VALUES ({names}) {{ {' '.join(rows)} }}")
+        else:  # pragma: no cover - defensive
+            raise SPARQLError(
+                f"cannot serialize element {type(element).__name__}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def query_text(query: SelectQuery) -> str:
+    """Render a full SELECT query as executable SPARQL text."""
+    parts: list[str] = ["SELECT"]
+    if query.distinct:
+        parts.append("DISTINCT")
+    if query.star:
+        parts.append("*")
+    else:
+        for item in query.projection:
+            if item.expression is None:
+                parts.append(f"?{item.var.name}")
+            else:
+                parts.append(f"({expression_text(item.expression)} "
+                             f"AS ?{item.var.name})")
+    lines = [" ".join(parts), "WHERE " + pattern_text(query.where)]
+    if query.group_by:
+        lines.append("GROUP BY "
+                     + " ".join(f"?{v.name}" for v in query.group_by))
+    for condition in query.having:
+        lines.append(f"HAVING ({expression_text(condition)})")
+    if query.order_by:
+        rendered = []
+        for condition in query.order_by:
+            body = expression_text(condition.expression)
+            if condition.ascending:
+                rendered.append(f"ASC({body})")
+            else:
+                rendered.append(f"DESC({body})")
+        lines.append("ORDER BY " + " ".join(rendered))
+    if query.limit is not None:
+        lines.append(f"LIMIT {query.limit}")
+    if query.offset:
+        lines.append(f"OFFSET {query.offset}")
+    return "\n".join(lines)

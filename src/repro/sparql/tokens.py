@@ -1,0 +1,93 @@
+"""Tokenizer for the SPARQL query fragment.
+
+Produces a flat token stream with line/column positions; the parser in
+:mod:`repro.sparql.parser` consumes it by recursive descent.  Keywords are
+recognized case-insensitively and normalized to upper case.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, NamedTuple
+
+from ..errors import QuerySyntaxError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+#: SPARQL keywords the fragment understands (normalized upper-case).
+KEYWORDS = frozenset({
+    "SELECT", "DISTINCT", "REDUCED", "WHERE", "FROM", "NAMED", "PREFIX",
+    "BASE", "AS", "GROUP", "BY", "HAVING", "ORDER", "ASC", "DESC", "LIMIT",
+    "OFFSET", "OPTIONAL", "UNION", "FILTER", "BIND", "VALUES", "UNDEF",
+    "COUNT", "SUM", "AVG", "MIN", "MAX", "SAMPLE", "GROUP_CONCAT",
+    "SEPARATOR", "NOT", "IN", "EXISTS", "TRUE", "FALSE", "A", "GRAPH",
+    "ASK", "CONSTRUCT", "DESCRIBE",
+})
+
+
+class Token(NamedTuple):
+    kind: str   # one of: iri pname var bnode string langtag number keyword op eof
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.kind == "keyword" and self.value in names
+
+    def is_op(self, *symbols: str) -> bool:
+        return self.kind == "op" and self.value in symbols
+
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>\s+|\#[^\n]*)
+    | (?P<iri><[^<>"{}|^`\\\x00-\x20]*>)
+    | (?P<var>[?$][A-Za-z_][A-Za-z0-9_]*)
+    | (?P<bnode>_:[A-Za-z0-9_.\-]+)
+    | (?P<string>"(?:[^"\\\n\r]|\\.)*"|'(?:[^'\\\n\r]|\\.)*')
+    | (?P<langtag>@[A-Za-z]{1,8}(?:-[A-Za-z0-9]{1,8})*)
+    | (?P<double>(?:\d+\.\d*|\.\d+|\d+)[eE][+-]?\d+)
+    | (?P<decimal>\d+\.\d+|\.\d+)
+    | (?P<integer>\d+)
+    | (?P<op>\^\^|&&|\|\||!=|<=|>=|[{}()\[\].,;*/+\-!=<>])
+    | (?P<pname>[A-Za-z_][A-Za-z0-9_\-.]*?:[A-Za-z0-9_][A-Za-z0-9_\-.]*|[A-Za-z_][A-Za-z0-9_\-.]*?:|:[A-Za-z0-9_][A-Za-z0-9_\-.]*)
+    | (?P<word>[A-Za-z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str) -> Iterator[Token]:
+    """Tokenize a SPARQL query string.
+
+    Raises :class:`QuerySyntaxError` on characters outside the grammar.
+    """
+    pos = 0
+    line = 1
+    line_start = 0
+    n = len(text)
+    while pos < n:
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise QuerySyntaxError(
+                f"unexpected character {text[pos]!r}", line, pos - line_start + 1)
+        kind = m.lastgroup or ""
+        value = m.group()
+        column = pos - line_start + 1
+        if kind == "ws":
+            pass
+        elif kind == "word":
+            # All bare words become upper-cased keyword tokens; the parser
+            # decides whether a given keyword is legal in context (this is
+            # also how builtin function names like STR reach the parser).
+            yield Token("keyword", value.upper(), line, column)
+        elif kind in ("double", "decimal", "integer"):
+            yield Token("number", value, line, column)
+        else:
+            yield Token(kind, value, line, column)
+        newlines = value.count("\n")
+        if newlines:
+            line += newlines
+            line_start = pos + value.rfind("\n") + 1
+        pos = m.end()
+    yield Token("eof", "", line, n - line_start + 1)

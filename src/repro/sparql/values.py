@@ -1,0 +1,179 @@
+"""SPARQL value semantics: coercion, effective boolean value, comparison.
+
+These are the shared primitives of the expression evaluator
+(:mod:`repro.sparql.expr`), the builtin functions
+(:mod:`repro.sparql.functions`) and the aggregates
+(:mod:`repro.sparql.aggregates`).  Expression-level type errors raise
+:class:`~repro.errors.ExpressionError`, which FILTER treats as false and
+aggregates treat as skip-this-binding — matching the SPARQL error model.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+from ..errors import ExpressionError, TermError
+from ..rdf.terms import XSD, BlankNode, IRI, Literal, Term, typed_literal
+
+__all__ = [
+    "to_number", "numeric_result", "ebv", "equals", "order_key", "compare",
+    "string_value",
+]
+
+
+def to_number(term: Optional[Term]) -> float | int:
+    """Coerce a term to a Python number, or raise :class:`ExpressionError`."""
+    if term is None:
+        raise ExpressionError("unbound value in numeric context")
+    if not isinstance(term, Literal) or not term.is_numeric:
+        raise ExpressionError(f"not a numeric literal: {term!r}")
+    try:
+        value = term.to_python()
+    except TermError as exc:
+        raise ExpressionError(str(exc)) from exc
+    assert isinstance(value, (int, float))
+    return value
+
+
+def numeric_result(value: int | float, *operands: Term) -> Literal:
+    """Wrap an arithmetic result, preserving integer-ness when exact.
+
+    Division always yields a decimal/double per the SPARQL operator table.
+    """
+    if isinstance(value, int):
+        return Literal(str(value), XSD.integer)
+    if isinstance(value, float) and value.is_integer() and all(
+            isinstance(op, Literal) and op.datatype == XSD.integer
+            for op in operands):
+        return Literal(repr(value), XSD.decimal)
+    return typed_literal(float(value))
+
+
+def ebv(term: Optional[Term]) -> bool:
+    """The effective boolean value (SPARQL §17.2.2).
+
+    * boolean literals → their value;
+    * numeric literals → value != 0 (NaN is false);
+    * strings → non-empty;
+    * everything else (IRIs, blanks, unbound) → type error.
+    """
+    if term is None:
+        raise ExpressionError("EBV of unbound value")
+    if not isinstance(term, Literal):
+        raise ExpressionError(f"EBV of non-literal {term!r}")
+    if term.datatype == XSD.boolean:
+        try:
+            return bool(term.to_python())
+        except TermError:
+            return False
+    if term.is_numeric:
+        try:
+            value = term.to_python()
+        except TermError:
+            return False
+        if isinstance(value, float) and math.isnan(value):
+            return False
+        return value != 0
+    if term.datatype == XSD.string:
+        return len(term.lexical) > 0
+    raise ExpressionError(f"EBV undefined for datatype {term.datatype!r}")
+
+
+def string_value(term: Optional[Term]) -> str:
+    """The string form of a term for string functions (SPARQL ``STR``)."""
+    if term is None:
+        raise ExpressionError("STR of unbound value")
+    if isinstance(term, Literal):
+        return term.lexical
+    if isinstance(term, IRI):
+        return term.value
+    raise ExpressionError("STR of blank node")
+
+
+def equals(left: Optional[Term], right: Optional[Term]) -> bool:
+    """SPARQL ``=``: value equality for comparable literals, else term equality."""
+    if left is None or right is None:
+        raise ExpressionError("comparison with unbound value")
+    if isinstance(left, Literal) and isinstance(right, Literal):
+        if left.is_numeric and right.is_numeric:
+            return to_number(left) == to_number(right)
+        if left.datatype == right.datatype and left.language == right.language:
+            return left.lexical == right.lexical
+        if left.datatype != right.datatype:
+            # Incomparable typed literals: RDFterm-equal raises unless the
+            # terms are identical.
+            raise ExpressionError(
+                f"incomparable literals {left!r} and {right!r}")
+        return False
+    return left == right
+
+
+def compare(op: str, left: Optional[Term], right: Optional[Term]) -> bool:
+    """Evaluate a relational operator on two terms.
+
+    ``=``/``!=`` work on any pair of terms; the orderings ``< <= > >=``
+    require both sides to be numeric, both strings, or both booleans.
+    """
+    if op == "=":
+        return equals(left, right)
+    if op == "!=":
+        try:
+            return not equals(left, right)
+        except ExpressionError:
+            # != of incomparable-but-distinct typed literals is true when the
+            # terms themselves differ.
+            if left is not None and right is not None and left != right:
+                return True
+            raise
+    if left is None or right is None:
+        raise ExpressionError("comparison with unbound value")
+    if isinstance(left, Literal) and isinstance(right, Literal):
+        if left.is_numeric and right.is_numeric:
+            lv: Any = to_number(left)
+            rv: Any = to_number(right)
+        elif left.datatype == XSD.boolean and right.datatype == XSD.boolean:
+            lv, rv = ebv(left), ebv(right)
+        elif left.datatype in (XSD.string,) and right.datatype in (XSD.string,):
+            lv, rv = left.lexical, right.lexical
+        elif left.datatype == right.datatype:
+            # Same-datatype fall-back (dates, gYear, ...): lexical order,
+            # which is chronological for XSD date/time canonical forms.
+            lv, rv = left.lexical, right.lexical
+        else:
+            raise ExpressionError(
+                f"cannot order {left.datatype!r} against {right.datatype!r}")
+        if op == "<":
+            return lv < rv
+        if op == "<=":
+            return lv <= rv
+        if op == ">":
+            return lv > rv
+        if op == ">=":
+            return lv >= rv
+        raise ExpressionError(f"unknown comparison operator {op!r}")
+    raise ExpressionError("ordering comparison requires literals")
+
+
+def order_key(term: Optional[Term]) -> tuple:
+    """Total-order key for ORDER BY (unbound < blanks < IRIs < literals).
+
+    Numeric literals order among themselves by value; other literals by
+    (datatype, lexical).  This is a deterministic refinement of the partial
+    order the SPARQL spec mandates.
+    """
+    if term is None:
+        return (0,)
+    if isinstance(term, BlankNode):
+        return (1, term.label)
+    if isinstance(term, IRI):
+        return (2, term.value)
+    assert isinstance(term, Literal)
+    if term.is_numeric:
+        try:
+            value = term.to_python()
+            return (3, 0, float(value), "")
+        except TermError:
+            pass
+    return (3, 1, 0.0, term.datatype.value + "\x00" + term.lexical
+            + "\x00" + (term.language or ""))

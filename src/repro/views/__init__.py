@@ -1,0 +1,15 @@
+"""View materialization, cataloging, routing, and query rewriting."""
+
+from .analyzer import analyze_query, match_report
+from .catalog import MaterializedView, ViewCatalog
+from .persistence import load_expanded, save_expanded
+from .materializer import MaterializationStats, dimension_predicate, \
+    materialize_view
+from .rewriter import can_answer, rewrite_on_view
+from .router import ViewRouter
+
+__all__ = [
+    "MaterializationStats", "analyze_query", "match_report", "MaterializedView", "ViewCatalog", "ViewRouter",
+    "can_answer", "dimension_predicate", "materialize_view",
+    "rewrite_on_view", "load_expanded", "save_expanded",
+]

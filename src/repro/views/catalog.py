@@ -1,0 +1,195 @@
+"""The catalog of materialized views inside an expanded dataset.
+
+The catalog owns the bookkeeping half of the offline module: which views
+of which facet are materialized, in which named graph, with what exact
+storage footprint.  It is the source of truth the router consults and the
+storage-amplification panels read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import ViewError
+from ..rdf.dataset import Dataset
+from ..rdf.graph import Graph
+from ..cube.view import ViewDefinition
+from ..sparql.engine import QueryEngine
+from .materializer import MaterializationStats, materialize_view
+
+__all__ = ["MaterializedView", "ViewCatalog"]
+
+
+@dataclass(frozen=True)
+class MaterializedView:
+    """A catalog entry: the definition plus its exact materialized footprint.
+
+    ``base_version`` snapshots the base graph's mutation counter at build
+    time; the catalog compares it against the current version to detect
+    stale views after base-graph updates.
+    """
+
+    definition: ViewDefinition
+    groups: int
+    triples: int
+    nodes: int
+    build_seconds: float
+    base_version: int = 0
+
+    @property
+    def mask(self) -> int:
+        return self.definition.mask
+
+    @property
+    def label(self) -> str:
+        return self.definition.label
+
+
+class ViewCatalog:
+    """Materialized views of one facet, stored as named graphs of a dataset."""
+
+    def __init__(self, dataset: Dataset, engine: QueryEngine | None = None
+                 ) -> None:
+        self._dataset = dataset
+        self._engine = engine if engine is not None \
+            else QueryEngine(dataset.default)
+        self._entries: dict[int, MaterializedView] = {}
+
+    @property
+    def dataset(self) -> Dataset:
+        return self._dataset
+
+    @property
+    def base_engine(self) -> QueryEngine:
+        """Engine over the base graph G (used to build views)."""
+        return self._engine
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, view: ViewDefinition) -> bool:
+        return view.mask in self._entries
+
+    def __iter__(self) -> Iterator[MaterializedView]:
+        for mask in sorted(self._entries):
+            yield self._entries[mask]
+
+    # -- mutation ----------------------------------------------------------
+
+    def materialize(self, view: ViewDefinition) -> MaterializedView:
+        """Build one view into its named graph and register it."""
+        if view.mask in self._entries:
+            raise ViewError(f"view {view.label!r} is already materialized")
+        target = self._dataset.graph(view.iri)
+        stats: MaterializationStats = materialize_view(
+            view, self._engine, target)
+        entry = MaterializedView(
+            definition=view,
+            groups=stats.groups,
+            triples=stats.triples,
+            nodes=stats.nodes,
+            build_seconds=stats.build_seconds,
+            base_version=self._engine.graph.version,
+        )
+        self._entries[view.mask] = entry
+        return entry
+
+    def materialize_all(self, views: Iterator[ViewDefinition] |
+                        list[ViewDefinition]) -> list[MaterializedView]:
+        return [self.materialize(v) for v in views]
+
+    def drop(self, view: ViewDefinition) -> bool:
+        """Drop a view's graph and catalog entry."""
+        self._entries.pop(view.mask, None)
+        return self._dataset.drop(view.iri)
+
+    def drop_all(self) -> None:
+        for entry in list(self._entries.values()):
+            self.drop(entry.definition)
+
+    # -- lookup ---------------------------------------------------------------
+
+    def get(self, view: ViewDefinition) -> MaterializedView | None:
+        return self._entries.get(view.mask)
+
+    def graph_of(self, view: ViewDefinition) -> Graph:
+        """The named graph holding a materialized view's triples."""
+        graph = self._dataset.get_graph(view.iri)
+        if graph is None or view.mask not in self._entries:
+            raise ViewError(f"view {view.label!r} is not materialized")
+        return graph
+
+    def covering(self, required_mask: int) -> list[MaterializedView]:
+        """Materialized views able to answer a query with this mask."""
+        return [entry for mask, entry in sorted(self._entries.items())
+                if (required_mask & mask) == required_mask]
+
+    # -- maintenance -----------------------------------------------------------
+
+    def is_stale(self, view: ViewDefinition) -> bool:
+        """True when the base graph changed after this view was built.
+
+        Staleness is conservative: any base mutation marks every view
+        stale, even mutations that cannot affect the facet pattern.
+        """
+        entry = self._entries.get(view.mask)
+        if entry is None:
+            raise ViewError(f"view {view.label!r} is not materialized")
+        return entry.base_version != self._engine.graph.version
+
+    def stale_views(self) -> list[MaterializedView]:
+        """All catalog entries whose base graph has moved on."""
+        current = self._engine.graph.version
+        return [entry for entry in self if entry.base_version != current]
+
+    def refresh(self, view: ViewDefinition) -> MaterializedView:
+        """Rebuild one view against the current base graph.
+
+        The rebuild happens *in place* — the view's named graph object is
+        cleared and refilled rather than replaced — so query engines and
+        any other holders of the graph reference observe the fresh data.
+        """
+        if view.mask not in self._entries:
+            raise ViewError(f"view {view.label!r} is not materialized")
+        target = self._dataset.graph(view.iri)
+        target.clear()
+        del self._entries[view.mask]
+        stats = materialize_view(view, self._engine, target)
+        entry = MaterializedView(
+            definition=view,
+            groups=stats.groups,
+            triples=stats.triples,
+            nodes=stats.nodes,
+            build_seconds=stats.build_seconds,
+            base_version=self._engine.graph.version,
+        )
+        self._entries[view.mask] = entry
+        return entry
+
+    def refresh_stale(self) -> list[MaterializedView]:
+        """Rebuild every stale view; returns the refreshed entries."""
+        return [self.refresh(entry.definition)
+                for entry in self.stale_views()]
+
+    # -- storage accounting -------------------------------------------------------
+
+    @property
+    def total_triples(self) -> int:
+        """Extra triples stored by all materialized views together."""
+        return sum(entry.triples for entry in self._entries.values())
+
+    @property
+    def total_build_seconds(self) -> float:
+        return sum(entry.build_seconds for entry in self._entries.values())
+
+    def storage_amplification(self) -> float:
+        """|G+| / |G| — the space-amplification shown in the demo GUI."""
+        base = len(self._dataset.default)
+        if base == 0:
+            return 0.0
+        return (base + self.total_triples) / base
+
+    def __repr__(self) -> str:
+        labels = ", ".join(e.label for e in self)
+        return f"<ViewCatalog [{labels}] {self.total_triples} extra triples>"

@@ -1,0 +1,107 @@
+"""Persisting the expanded dataset: precompute offline, load later.
+
+The offline module "precomputes and stores the results of analytical
+queries offline to serve new incoming queries faster"; this module makes
+the storing literal.  ``save_expanded`` writes one N-Quads file holding
+the base graph and every materialized view graph, next to a JSON catalog
+manifest (per-view statistics, base version, and the facet's identity for
+validation).  ``load_expanded`` reverses it against the same facet.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from ..errors import ViewError
+from ..rdf.dataset import Dataset
+from ..rdf.nquads import parse_nquads, serialize_nquads
+from ..cube.facet import AnalyticalFacet
+from ..cube.view import ViewDefinition
+from .catalog import MaterializedView, ViewCatalog
+
+__all__ = ["save_expanded", "load_expanded", "DATASET_FILE", "MANIFEST_FILE"]
+
+DATASET_FILE = "expanded.nq"
+MANIFEST_FILE = "catalog.json"
+_FORMAT_VERSION = 1
+
+
+def save_expanded(catalog: ViewCatalog, directory: str) -> None:
+    """Write the expanded dataset and catalog manifest into ``directory``."""
+    os.makedirs(directory, exist_ok=True)
+    with open(os.path.join(directory, DATASET_FILE), "w",
+              encoding="utf-8") as handle:
+        handle.write(serialize_nquads(catalog.dataset))
+
+    entries = []
+    facet_name = None
+    for entry in catalog:
+        facet_name = entry.definition.facet.name
+        entries.append({
+            "mask": entry.mask,
+            "label": entry.label,
+            "groups": entry.groups,
+            "triples": entry.triples,
+            "nodes": entry.nodes,
+            "build_seconds": entry.build_seconds,
+            "base_version": entry.base_version,
+        })
+    manifest = {
+        "format": _FORMAT_VERSION,
+        "facet": facet_name,
+        "base_triples": len(catalog.dataset.default),
+        "views": entries,
+    }
+    with open(os.path.join(directory, MANIFEST_FILE), "w",
+              encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+
+
+def load_expanded(directory: str, facet: AnalyticalFacet
+                  ) -> tuple[Dataset, ViewCatalog]:
+    """Load a saved expanded dataset back for the given facet.
+
+    The manifest's facet name must match ``facet.name`` — loading a
+    catalog against the wrong facet would silently route queries to
+    incompatible encodings.
+    """
+    manifest_path = os.path.join(directory, MANIFEST_FILE)
+    dataset_path = os.path.join(directory, DATASET_FILE)
+    if not os.path.exists(manifest_path) or not os.path.exists(dataset_path):
+        raise ViewError(f"{directory!r} does not contain a saved expanded "
+                        f"dataset ({DATASET_FILE} + {MANIFEST_FILE})")
+    with open(manifest_path, encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    if manifest.get("format") != _FORMAT_VERSION:
+        raise ViewError(f"unsupported catalog format "
+                        f"{manifest.get('format')!r}")
+    saved_facet = manifest.get("facet")
+    if saved_facet is not None and saved_facet != facet.name:
+        raise ViewError(
+            f"saved catalog belongs to facet {saved_facet!r}, not "
+            f"{facet.name!r}")
+
+    with open(dataset_path, encoding="utf-8") as handle:
+        dataset = parse_nquads(handle.read())
+
+    catalog = ViewCatalog(dataset)
+    # Loaded graphs are snapshots: align entry versions with the loaded
+    # base graph so nothing is spuriously stale.
+    version = dataset.default.version
+    for item in manifest["views"]:
+        definition = ViewDefinition(facet, int(item["mask"]))
+        if dataset.get_graph(definition.iri) is None:
+            raise ViewError(
+                f"manifest lists view {item['label']!r} but the dataset "
+                "file has no graph named " + definition.iri.value)
+        entry = MaterializedView(
+            definition=definition,
+            groups=int(item["groups"]),
+            triples=int(item["triples"]),
+            nodes=int(item["nodes"]),
+            build_seconds=float(item["build_seconds"]),
+            base_version=version,
+        )
+        catalog._entries[definition.mask] = entry
+    return dataset, catalog

@@ -1,0 +1,104 @@
+"""Query rewriting: translating analytical queries onto materialized views.
+
+Paper §3.2: "the translation straightforwardly substitutes aggregate
+variables with the blank nodes representing the aggregation and
+reformulates triple patterns accordingly."  Concretely, a query grouping
+on X_q with filters over X_f is answered from a view V (with
+X_q ∪ X_f ⊆ X_V) by matching V's group nodes, re-aggregating the stored
+per-group values, and re-applying the filters on the stored dimension
+values:
+
+* SUM / COUNT facets roll up with ``SUM(?__measure)``;
+* MIN / MAX facets roll up with ``MIN`` / ``MAX``;
+* AVG facets compute ``SUM(?__sum) / SUM(?__count)`` (exact, because the
+  materializer stores the algebraic decomposition).
+"""
+
+from __future__ import annotations
+
+from ..errors import RewriteError
+from ..rdf.namespace import SOFOS
+from ..rdf.terms import Variable
+from ..rdf.triples import TriplePattern
+from ..cube.query import AnalyticalQuery
+from ..cube.view import COUNT_VAR, MEASURE_VAR, SUM_VAR, ViewDefinition
+from ..sparql.ast import AggregateExpr, ArithExpr, BGPElement, CompareExpr, \
+    FilterElement, FuncCall, GroupPattern, ProjectionItem, SelectQuery, \
+    TermExpr, VarExpr
+from .materializer import dimension_predicate
+
+__all__ = ["can_answer", "rewrite_on_view"]
+
+_GROUP_NODE = Variable("__group")
+
+
+def can_answer(view: ViewDefinition, query: AnalyticalQuery) -> bool:
+    """True when ``view`` stores enough detail to answer ``query``.
+
+    Requires the same facet and that every variable the query groups or
+    filters on is a dimension of the view.
+    """
+    if view.facet != query.facet:
+        return False
+    return view.covers_mask(query.required_mask)
+
+
+def rewrite_on_view(query: AnalyticalQuery, view: ViewDefinition
+                    ) -> SelectQuery:
+    """The query Q' over the view's graph, equivalent to ``query`` on G.
+
+    Raises :class:`RewriteError` when the view cannot answer the query.
+    """
+    if not can_answer(view, query):
+        raise RewriteError(
+            f"view {view.label!r} (vars {[v.name for v in view.variables]}) "
+            f"cannot answer query {query.describe()!r}")
+
+    facet = query.facet
+    needed = set(query.group_variables)
+    for condition in query.filters:
+        needed.add(condition.var)
+
+    patterns = [TriplePattern(_GROUP_NODE, SOFOS.view, view.iri)]
+    for var in facet.grouping_variables:  # canonical order, deterministic
+        if var in needed:
+            patterns.append(
+                TriplePattern(_GROUP_NODE, dimension_predicate(var), var))
+
+    agg_name = facet.aggregate.name
+    if agg_name == "AVG":
+        patterns.append(TriplePattern(_GROUP_NODE, SOFOS.sum, SUM_VAR))
+        patterns.append(TriplePattern(_GROUP_NODE, SOFOS.groupCount,
+                                      COUNT_VAR))
+        sum_of_sums = AggregateExpr("SUM", VarExpr(SUM_VAR))
+        sum_of_counts = AggregateExpr("SUM", VarExpr(COUNT_VAR))
+        # IF guards the all-groups-empty edge so Q' matches the base
+        # engine's AVG-of-nothing = 0 behaviour.
+        measure_expr = FuncCall("IF", (
+            CompareExpr(">", sum_of_counts, _zero()),
+            ArithExpr("/", sum_of_sums, sum_of_counts),
+            _zero(),
+        ))
+    else:
+        patterns.append(TriplePattern(_GROUP_NODE, SOFOS.measure,
+                                      MEASURE_VAR))
+        rollup = {"SUM": "SUM", "COUNT": "SUM",
+                  "MIN": "MIN", "MAX": "MAX"}[agg_name]
+        measure_expr = AggregateExpr(rollup, VarExpr(MEASURE_VAR))
+
+    elements: list = [BGPElement(tuple(patterns))]
+    for condition in query.filters:
+        elements.append(FilterElement(condition.to_expression()))
+
+    items = [ProjectionItem(v) for v in query.group_variables]
+    items.append(ProjectionItem(facet.measure_alias, measure_expr))
+    return SelectQuery(
+        projection=tuple(items),
+        where=GroupPattern(tuple(elements)),
+        group_by=query.group_variables,
+    )
+
+
+def _zero() -> TermExpr:
+    from ..rdf.terms import typed_literal
+    return TermExpr(typed_literal(0))

@@ -1,0 +1,50 @@
+"""The view router: choosing which materialized view answers a query.
+
+Given an analytical query, the router finds the catalog views that *can*
+answer it (dimension coverage, see :func:`repro.views.rewriter.can_answer`)
+and picks the one with the lowest predicted cost.  By default the
+prediction is the view's group count — the aggregated-values cost model —
+but any ranking can be injected, which is how the online module routes
+consistently with the cost model that selected the views.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..cube.query import AnalyticalQuery
+from .catalog import MaterializedView, ViewCatalog
+
+__all__ = ["ViewRouter"]
+
+Ranking = Callable[[MaterializedView], float]
+
+
+def _default_ranking(entry: MaterializedView) -> float:
+    return float(entry.groups)
+
+
+class ViewRouter:
+    """Picks the cheapest usable materialized view, if any."""
+
+    def __init__(self, catalog: ViewCatalog,
+                 ranking: Ranking | None = None) -> None:
+        self._catalog = catalog
+        self._ranking = ranking if ranking is not None else _default_ranking
+
+    @property
+    def catalog(self) -> ViewCatalog:
+        return self._catalog
+
+    def candidates(self, query: AnalyticalQuery) -> list[MaterializedView]:
+        """All usable views, cheapest first (deterministic tie-break)."""
+        usable = [entry for entry in
+                  self._catalog.covering(query.required_mask)
+                  if entry.definition.facet == query.facet]
+        usable.sort(key=lambda e: (self._ranking(e), e.mask))
+        return usable
+
+    def route(self, query: AnalyticalQuery) -> Optional[MaterializedView]:
+        """The chosen view, or None when the base graph must answer."""
+        usable = self.candidates(query)
+        return usable[0] if usable else None

@@ -1,0 +1,9 @@
+"""Workload generation: random analytical queries and text templates."""
+
+from .generator import WorkloadConfig, WorkloadGenerator, dimension_values
+from .templates import QueryTemplate, render_analytical_query
+
+__all__ = [
+    "QueryTemplate", "WorkloadConfig", "WorkloadGenerator",
+    "dimension_values", "render_analytical_query",
+]

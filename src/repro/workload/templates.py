@@ -1,0 +1,75 @@
+"""Parametrized query templates: the demo's human-facing workload view.
+
+The demonstration presents, for each dataset, "a query workload composed
+of different parametrized queries for a given query template".  This
+module renders :class:`~repro.cube.query.AnalyticalQuery` objects as
+SPARQL text (what the participant sees) and instantiates textual templates
+with ``$param`` placeholders (how a facet's template becomes concrete
+queries).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..errors import WorkloadError
+from ..rdf.terms import Term
+from ..cube.query import AnalyticalQuery
+from ..sparql.engine import PreparedQuery
+from ..sparql.parser import parse_query
+from ..sparql.serializer import query_text
+
+__all__ = ["render_analytical_query", "QueryTemplate"]
+
+_PARAM_RE = re.compile(r"\$([A-Za-z_][A-Za-z0-9_]*)")
+
+
+def render_analytical_query(query: AnalyticalQuery) -> str:
+    """The SPARQL text a participant would see for this workload query."""
+    return query_text(query.to_select_query())
+
+
+@dataclass(frozen=True)
+class QueryTemplate:
+    """A SPARQL text template with ``$name`` placeholders.
+
+    Placeholders are replaced by the N3 serialization of the bound terms,
+    so any term type (IRI, literal with datatype) substitutes correctly::
+
+        t = QueryTemplate("lang-total", '''
+            SELECT (SUM(?pop) AS ?total) WHERE {
+              ?c ex:language $lang ; ex:population ?pop . }''')
+        t.instantiate(lang=EX.french)
+    """
+
+    name: str
+    text: str
+
+    @property
+    def parameters(self) -> tuple[str, ...]:
+        seen: list[str] = []
+        for match in _PARAM_RE.finditer(self.text):
+            if match.group(1) not in seen:
+                seen.append(match.group(1))
+        return tuple(seen)
+
+    def instantiate(self, **bindings: Term) -> str:
+        """Substitute every placeholder; unbound or unknown names raise."""
+        expected = set(self.parameters)
+        provided = set(bindings)
+        if provided != expected:
+            missing = ", ".join(sorted(expected - provided)) or "-"
+            extra = ", ".join(sorted(provided - expected)) or "-"
+            raise WorkloadError(
+                f"template {self.name!r}: missing parameters [{missing}], "
+                f"unexpected [{extra}]")
+
+        def replace(match: re.Match) -> str:
+            return bindings[match.group(1)].n3()
+
+        return _PARAM_RE.sub(replace, self.text)
+
+    def prepare(self, **bindings: Term) -> PreparedQuery:
+        """Instantiate and compile in one step."""
+        return PreparedQuery(parse_query(self.instantiate(**bindings)))

@@ -1,0 +1,80 @@
+"""Tests for the simulated-annealing selector."""
+
+import pytest
+
+from repro.cost import AggregatedValuesCost, LatticeProfile
+from repro.cube import AnalyticalQuery, ViewLattice
+from repro.errors import SelectionError
+from repro.selection import AnnealingSelector, ExhaustiveSelector, \
+    GreedySelector
+from repro.sparql import QueryEngine
+
+from tests.conftest import build_population_graph
+
+
+@pytest.fixture(scope="module")
+def world(population_facet):
+    graph = build_population_graph()
+    lattice = ViewLattice(population_facet)
+    profile = LatticeProfile.profile(lattice, QueryEngine(graph))
+    return lattice, profile
+
+
+class TestAnnealing:
+    def test_selects_k_distinct_views(self, world):
+        lattice, profile = world
+        result = AnnealingSelector(AggregatedValuesCost(), seed=1).select(
+            lattice, profile, 2)
+        assert len(result.views) == 2
+        assert len({v.mask for v in result.views}) == 2
+        assert result.strategy == "annealing"
+
+    def test_deterministic_under_seed(self, world):
+        lattice, profile = world
+        a = AnnealingSelector(AggregatedValuesCost(), seed=9).select(
+            lattice, profile, 2)
+        b = AnnealingSelector(AggregatedValuesCost(), seed=9).select(
+            lattice, profile, 2)
+        assert a.masks == b.masks
+        assert a.estimated_workload_cost == b.estimated_workload_cost
+
+    def test_matches_exhaustive_on_small_lattice(self, world,
+                                                 population_facet):
+        lattice, profile = world
+        workload = [AnalyticalQuery(population_facet, m) for m in
+                    (0, 1, 1, 3)]
+        model = AggregatedValuesCost()
+        optimal = ExhaustiveSelector(model).select(lattice, profile, 2,
+                                                   workload)
+        annealed = AnnealingSelector(model, seed=0, iterations=500).select(
+            lattice, profile, 2, workload)
+        # 4-choose-2 = 6 subsets: annealing must find the optimum
+        assert annealed.estimated_workload_cost == pytest.approx(
+            optimal.estimated_workload_cost)
+
+    def test_never_worse_than_random_start_objective(self, world):
+        lattice, profile = world
+        model = AggregatedValuesCost()
+        annealed = AnnealingSelector(model, seed=3).select(lattice, profile,
+                                                           2)
+        greedy = GreedySelector(model, seed=3).select(lattice, profile, 2)
+        # on this lattice both should land within a small factor
+        assert annealed.estimated_workload_cost <= \
+            greedy.estimated_workload_cost * 1.5 + 1e-9
+
+    def test_k_edge_cases(self, world):
+        lattice, profile = world
+        model = AggregatedValuesCost()
+        none = AnnealingSelector(model).select(lattice, profile, 0)
+        assert none.views == []
+        everything = AnnealingSelector(model).select(lattice, profile, 99)
+        assert len(everything.views) == len(lattice)
+
+    def test_parameter_validation(self):
+        with pytest.raises(SelectionError):
+            AnnealingSelector(AggregatedValuesCost(), iterations=0)
+        with pytest.raises(SelectionError):
+            AnnealingSelector(AggregatedValuesCost(), cooling=1.5)
+        with pytest.raises(SelectionError):
+            AnnealingSelector(AggregatedValuesCost()).select(
+                None, None, -1)  # type: ignore[arg-type]

@@ -1,0 +1,233 @@
+"""Tests for the lattice profiler, the six cost models, and estimation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CostModelError
+from repro.cost import AggregatedValuesCost, LatticeProfile, LearnedCost, \
+    MLPRegressor, NodeCountCost, RandomCost, TripleCountCost, \
+    UserDefinedCost, create_model, dimension_domains, encode_view, \
+    estimate_binding_count, estimate_group_count, model_names, \
+    pattern_frequencies
+from repro.cube import ViewLattice
+from repro.rdf import GraphStatistics, Variable
+from repro.sparql import QueryEngine
+
+
+@pytest.fixture(scope="module")
+def profiled(population_facet):
+    from tests.conftest import build_population_graph
+    graph = build_population_graph()
+    engine = QueryEngine(graph)
+    lattice = ViewLattice(population_facet)
+    profile = LatticeProfile.profile(lattice, engine)
+    return graph, lattice, profile
+
+
+class TestProfiler:
+    def test_profiles_every_view(self, profiled):
+        graph, lattice, profile = profiled
+        assert set(profile.views) == {v.mask for v in lattice}
+
+    def test_base_profile(self, profiled, population_facet):
+        graph, lattice, profile = profiled
+        assert profile.base.triples == len(graph)
+        assert profile.base.nodes == graph.node_count()
+        # binding rows: one per (obs x language) join row
+        assert profile.base.rows == 9
+
+    def test_monotone_rows_up_the_lattice(self, profiled):
+        graph, lattice, profile = profiled
+        for view in lattice:
+            for parent in lattice.parents(view):
+                assert profile.rows(parent) >= profile.rows(view)
+
+    def test_apex_has_one_group(self, profiled):
+        graph, lattice, profile = profiled
+        assert profile.rows(lattice.apex) == 1
+
+    def test_accessors_and_errors(self, profiled, population_avg_facet):
+        graph, lattice, profile = profiled
+        view = lattice.finest
+        assert profile.triples(view) > profile.rows(view)
+        assert profile.nodes(view) > 0
+        assert profile.eval_seconds(view) >= 0
+        foreign = ViewLattice(population_avg_facet).apex
+        with pytest.raises(CostModelError):
+            profile.rows(foreign)
+
+    def test_by_level_partition(self, profiled):
+        graph, lattice, profile = profiled
+        levels = profile.by_level()
+        assert sum(len(level) for level in levels) == len(lattice)
+
+    def test_full_lattice_amplification_above_one(self, profiled):
+        graph, lattice, profile = profiled
+        assert profile.full_lattice_amplification() > 1.0
+        assert profile.total_triples() == sum(
+            p.triples for p in profile)
+
+
+class TestPaperModels:
+    def test_registry_has_all_automatic_models(self):
+        assert {"random", "triples", "agg_values", "nodes",
+                "learned", "user"} <= set(model_names())
+
+    def test_create_unknown_raises(self):
+        with pytest.raises(CostModelError):
+            create_model("psychic")
+
+    def test_random_constant(self, profiled):
+        graph, lattice, profile = profiled
+        model = RandomCost()
+        assert all(model.cost(v, profile) == 1.0 for v in lattice)
+        assert model.base_cost(profile) == 1.0
+
+    def test_triples_matches_profile(self, profiled):
+        graph, lattice, profile = profiled
+        model = TripleCountCost()
+        for view in lattice:
+            assert model.cost(view, profile) == profile.triples(view)
+        assert model.base_cost(profile) == len(graph)
+
+    def test_agg_values_matches_profile(self, profiled):
+        graph, lattice, profile = profiled
+        model = AggregatedValuesCost()
+        for view in lattice:
+            assert model.cost(view, profile) == profile.rows(view)
+        assert model.base_cost(profile) == profile.base.rows
+
+    def test_nodes_matches_profile(self, profiled):
+        graph, lattice, profile = profiled
+        model = NodeCountCost()
+        for view in lattice:
+            assert model.cost(view, profile) == profile.nodes(view)
+        assert model.base_cost(profile) == profile.base.nodes
+
+    def test_user_defined(self, profiled):
+        graph, lattice, profile = profiled
+        model = UserDefinedCost(lambda v, p: float(v.level), base=99.0,
+                                label="levels")
+        assert model.cost(lattice.finest, profile) == 2.0
+        assert model.base_cost(profile) == 99.0
+        assert model.describe() == "levels"
+
+    def test_apex_cheaper_than_base_but_finest_may_exceed_it(self, profiled):
+        """The paper's pitfall: a fine view's RDF encoding can be *larger*
+        than the data it summarizes, so triple-count cost does not
+        guarantee savings."""
+        graph, lattice, profile = profiled
+        for model in (TripleCountCost(), NodeCountCost(),
+                      AggregatedValuesCost()):
+            base = model.base_cost(profile)
+            assert model.cost(lattice.apex, profile) < base
+        # on this small graph the finest SUM view genuinely out-sizes G
+        assert TripleCountCost().cost(lattice.finest, profile) > \
+            len(graph) * 0.8
+
+
+class TestEstimator:
+    def test_pattern_frequencies(self, profiled, population_facet):
+        graph, lattice, profile = profiled
+        freqs = pattern_frequencies(population_facet.pattern,
+                                    profile.graph_stats)
+        assert len(freqs) == 4  # ofCountry, year, population, language
+        assert all(f > 0 for f in freqs)
+
+    def test_dimension_domains_bounded(self, profiled, population_facet):
+        graph, lattice, profile = profiled
+        domains = dimension_domains(population_facet, profile.graph_stats)
+        # 4 languages, 2 years in the fixture
+        assert domains[Variable("lang")] == 4
+        assert domains[Variable("year")] == 2
+
+    def test_group_count_estimate_bounds(self, profiled, population_facet):
+        graph, lattice, profile = profiled
+        stats = profile.graph_stats
+        assert estimate_group_count(lattice.apex, stats) == 1.0
+        finest = estimate_group_count(lattice.finest, stats)
+        assert finest >= profile.rows(lattice.finest) / 2  # rough upper bound
+
+    def test_binding_estimate_positive(self, profiled, population_facet):
+        graph, lattice, profile = profiled
+        estimate = estimate_binding_count(population_facet,
+                                          profile.graph_stats)
+        assert estimate > 0
+
+
+class TestMLP:
+    def test_learns_a_simple_function(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, (200, 3))
+        y = 2 * x[:, 0] - x[:, 1] + 0.5
+        model = MLPRegressor(3, hidden=(16, 8), seed=1)
+        loss = model.fit(x, y, epochs=800, learning_rate=5e-3)
+        assert loss < 0.01
+        predictions = model.predict(x[:10])
+        assert np.mean((predictions - y[:10]) ** 2) < 0.05
+
+    def test_deterministic_under_seed(self):
+        x = np.linspace(0, 1, 30).reshape(-1, 3)
+        y = x.sum(axis=1)
+        a = MLPRegressor(3, seed=7)
+        b = MLPRegressor(3, seed=7)
+        a.fit(x, y, epochs=50)
+        b.fit(x, y, epochs=50)
+        assert np.allclose(a.predict(x), b.predict(x))
+
+    def test_single_example_rejected(self):
+        model = MLPRegressor(2)
+        with pytest.raises(CostModelError):
+            model.fit(np.ones((1, 2)), np.ones(1))
+
+    def test_predict_single_vector(self):
+        x = np.random.default_rng(0).uniform(size=(20, 2))
+        y = x.sum(axis=1)
+        model = MLPRegressor(2, seed=0)
+        model.fit(x, y, epochs=100)
+        single = model.predict(x[0])
+        assert np.isscalar(single) or single.shape == ()
+
+
+class TestLearnedCost:
+    def test_features_are_stat_only(self, profiled, population_facet):
+        graph, lattice, profile = profiled
+        finest = encode_view(lattice.finest, profile.graph_stats)
+        apex = encode_view(lattice.apex, profile.graph_stats)
+        assert finest.shape == apex.shape
+        assert finest[0] == 2.0 and apex[0] == 0.0  # n_dims feature
+
+    def test_unfitted_cost_raises(self, profiled):
+        graph, lattice, profile = profiled
+        model = LearnedCost()
+        with pytest.raises(CostModelError):
+            model.cost(lattice.apex, profile)
+
+    def test_prepare_self_trains(self, profiled):
+        graph, lattice, profile = profiled
+        model = LearnedCost(epochs=100)
+        model.prepare(profile)
+        assert model.is_fitted
+        cost = model.cost(lattice.finest, profile)
+        assert cost >= 0.0
+        assert model.base_cost(profile) == pytest.approx(
+            profile.base.eval_seconds * 1000.0)
+
+    def test_fit_profiles_transfer(self, profiled, population_avg_facet):
+        from tests.conftest import build_population_graph
+        graph, lattice, profile = profiled
+        avg_lattice = ViewLattice(population_avg_facet)
+        avg_profile = LatticeProfile.profile(
+            avg_lattice, QueryEngine(build_population_graph()))
+        model = LearnedCost(epochs=100)
+        model.fit_profiles([avg_profile])   # train on a different facet
+        assert model.cost(lattice.finest, profile) >= 0.0
+
+    def test_deterministic(self, profiled):
+        graph, lattice, profile = profiled
+        a = LearnedCost(seed=3, epochs=80)
+        b = LearnedCost(seed=3, epochs=80)
+        a.fit_profiles([profile])
+        b.fit_profiles([profile])
+        assert a.cost(lattice.finest, profile) == pytest.approx(
+            b.cost(lattice.finest, profile))

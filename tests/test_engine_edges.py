@@ -1,0 +1,143 @@
+"""Edge-case and stress tests for the SPARQL engine and planner."""
+
+import pytest
+
+from repro.errors import ParseError, QuerySyntaxError, ReproError
+from repro.rdf import Graph, Literal, Namespace, Triple, typed_literal
+from repro.sparql import QueryEngine
+
+EX = Namespace("http://example.org/")
+PREFIX = "PREFIX ex: <http://example.org/>\n"
+
+
+def chain_graph(n: int) -> Graph:
+    """a0 -p-> a1 -p-> ... -p-> an, each node typed and numbered."""
+    g = Graph()
+    for i in range(n):
+        g.add(Triple(EX[f"a{i}"], EX.next, EX[f"a{i + 1}"]))
+        g.add(Triple(EX[f"a{i}"], EX.index, typed_literal(i)))
+    return g
+
+
+class TestPlannerEdges:
+    def test_variable_predicate(self):
+        g = chain_graph(3)
+        t = QueryEngine(g).query(
+            PREFIX + "SELECT ?p WHERE { ex:a0 ?p ?o . }")
+        assert {row[0] for row in t.rows} == {EX.next, EX.index}
+
+    def test_all_wildcard_pattern(self):
+        g = chain_graph(2)
+        t = QueryEngine(g).query("SELECT * WHERE { ?s ?p ?o . }")
+        assert len(t) == len(g)
+
+    def test_long_chain_join_completes(self):
+        g = chain_graph(60)
+        query = PREFIX + """
+            SELECT ?x0 ?x4 WHERE {
+                ?x0 ex:next ?x1 . ?x1 ex:next ?x2 . ?x2 ex:next ?x3 .
+                ?x3 ex:next ?x4 .
+            }"""
+        t = QueryEngine(g).query(query)
+        assert len(t) == 57  # 60 edges -> 57 four-hop paths
+
+    def test_selective_pattern_runs_first(self):
+        # correctness check under extreme selectivity skew
+        g = chain_graph(50)
+        g.add(Triple(EX.special, EX.marker, EX.a25))
+        query = PREFIX + """
+            SELECT ?i WHERE {
+                ?x ex:index ?i .
+                ?s ex:marker ?x .
+            }"""
+        t = QueryEngine(g).query(query)
+        assert [r[0].to_python() for r in t.rows] == [25]
+
+    def test_empty_graph_aggregation(self):
+        t = QueryEngine(Graph()).query(
+            "SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o . }")
+        assert t.python_value() == 0
+
+    def test_empty_bgp_group(self):
+        g = chain_graph(1)
+        t = QueryEngine(g).query("SELECT (1 + 1 AS ?two) WHERE { }")
+        assert t.python_value() == 2
+
+
+class TestModifierEdges:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        return QueryEngine(chain_graph(5))
+
+    def test_limit_zero(self, engine):
+        t = engine.query(PREFIX +
+                         "SELECT ?s WHERE { ?s ex:next ?o . } LIMIT 0")
+        assert len(t) == 0
+
+    def test_offset_beyond_results(self, engine):
+        t = engine.query(PREFIX +
+                         "SELECT ?s WHERE { ?s ex:next ?o . } OFFSET 99")
+        assert len(t) == 0
+
+    def test_order_by_mixed_bound_unbound(self, engine):
+        t = engine.query(PREFIX + """
+            SELECT ?s ?far WHERE {
+                ?s ex:next ?o .
+                OPTIONAL { ?o ex:next ?far . FILTER(?far = ex:a2) }
+            } ORDER BY ?far""")
+        # unbound cells sort first under the total order
+        assert t.rows[0][1] is None
+
+    def test_distinct_after_projection(self, engine):
+        t = engine.query(PREFIX + """
+            SELECT DISTINCT ?p WHERE { ?s ?p ?o . }""")
+        assert len(t) == 2
+
+    def test_nested_arithmetic_projection(self, engine):
+        t = engine.query(PREFIX + """
+            SELECT ?i (((?i + 1) * 2) / 2 - 1 AS ?same) WHERE {
+                ex:a3 ex:index ?i .
+            }""")
+        row = t.rows[0]
+        assert row[1].to_python() == pytest.approx(row[0].to_python())
+
+
+class TestErrorReporting:
+    def test_syntax_error_carries_position(self):
+        with pytest.raises(QuerySyntaxError) as err:
+            QueryEngine(Graph()).query("SELECT ?s WHERE { ?s ?p }")
+        assert err.value.line is not None
+
+    def test_all_library_errors_share_root(self):
+        assert issubclass(QuerySyntaxError, ReproError)
+        assert issubclass(ParseError, ReproError)
+
+    def test_parse_error_message_includes_location(self):
+        err = ParseError("boom", line=3, column=7)
+        assert "line 3" in str(err) and "column 7" in str(err)
+
+    def test_parse_error_without_location(self):
+        assert str(ParseError("boom")) == "boom"
+
+
+class TestLiteralHeavyWorkload:
+    def test_many_distinct_literals(self):
+        g = Graph()
+        for i in range(500):
+            g.add(Triple(EX[f"s{i}"], EX.value, typed_literal(i % 37)))
+        t = QueryEngine(g).query(PREFIX + """
+            SELECT ?v (COUNT(?s) AS ?n) WHERE { ?s ex:value ?v . }
+            GROUP BY ?v ORDER BY DESC(?n) ?v""")
+        assert len(t) == 37
+        assert sum(r[1].to_python() for r in t.rows) == 500
+
+    def test_language_tagged_grouping(self):
+        g = Graph()
+        g.add(Triple(EX.a, EX.label, Literal("chat", language="fr")))
+        g.add(Triple(EX.b, EX.label, Literal("chat", language="en")))
+        g.add(Triple(EX.c, EX.label, Literal("chat", language="fr")))
+        t = QueryEngine(g).query(PREFIX + """
+            SELECT ?l (COUNT(?s) AS ?n) WHERE { ?s ex:label ?l . }
+            GROUP BY ?l""")
+        counts = {row[0].language: row[1].to_python() for row in t.rows}
+        assert counts == {"fr": 2, "en": 1}

@@ -1,0 +1,56 @@
+"""Smoke tests: every shipped example must run cleanly end to end.
+
+The examples are public deliverables; running them as subprocesses
+guards against API drift between the library and its documentation.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "population_analytics.py",
+    "lubm_analytics.py",
+    "scholarly_analytics.py",
+    "live_updates.py",
+]
+
+EXPECTED_SNIPPETS = {
+    "quickstart.py": "selected:",
+    "population_analytics.py": "both paths agree",
+    "lubm_analytics.py": "no views:",
+    "scholarly_analytics.py": "optimal",
+    "live_updates.py": "refreshed:",
+}
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    path = os.path.join(EXAMPLES_DIR, script)
+    result = subprocess.run(
+        [sys.executable, path],
+        capture_output=True, text=True, timeout=600,
+        cwd=os.path.dirname(EXAMPLES_DIR),
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert EXPECTED_SNIPPETS[script] in result.stdout
+
+
+def test_demo_walkthrough_runs_on_tiny():
+    path = os.path.join(EXAMPLES_DIR, "demo_walkthrough.py")
+    result = subprocess.run(
+        [sys.executable, path, "dbpedia", "tiny"],
+        capture_output=True, text=True, timeout=600,
+        cwd=os.path.dirname(EXAMPLES_DIR),
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "demo complete." in result.stdout
+    for panel in ("① Full lattice view", "② Cost function selection",
+                  "③ Materialized lattice view",
+                  "④ Query performance analyzer"):
+        assert panel in result.stdout

@@ -1,0 +1,119 @@
+"""Tests for N-Quads I/O and expanded-dataset persistence."""
+
+import pytest
+
+from repro.core import OnlineModule, Sofos
+from repro.cube import AnalyticalQuery
+from repro.errors import ParseError, ViewError
+from repro.rdf import Dataset, Namespace, Quad, Triple, typed_literal
+from repro.rdf.nquads import parse_nquads, serialize_nquads
+from repro.views.persistence import load_expanded, save_expanded
+
+from tests.conftest import build_population_graph
+
+EX = Namespace("http://example.org/")
+
+
+class TestNQuads:
+    def test_round_trip_with_named_graphs(self):
+        ds = Dataset()
+        ds.add_quad(Quad(EX.a, EX.p, EX.b, None))
+        ds.add_quad(Quad(EX.a, EX.p, typed_literal(5), EX.g1))
+        ds.add_quad(Quad(EX.b, EX.q, EX.c, EX.g2))
+        back = parse_nquads(serialize_nquads(ds))
+        assert set(back.quads()) == set(ds.quads())
+        assert len(back.default) == 1
+        assert len(back.graph(EX.g1)) == 1
+
+    def test_default_graph_lines_have_three_terms(self):
+        ds = Dataset()
+        ds.add_quad(Quad(EX.a, EX.p, EX.b, None))
+        text = serialize_nquads(ds)
+        assert text.strip().count(" ") == 3  # s p o .
+
+    def test_comments_and_blanks_skipped(self):
+        ds = parse_nquads("# header\n\n<http://x/a> <http://x/p> "
+                          "<http://x/b> <http://x/g> .\n")
+        assert len(ds) == 1
+
+    def test_literal_graph_label_rejected(self):
+        with pytest.raises(ParseError):
+            parse_nquads('<http://x/a> <http://x/p> <http://x/b> "g" .')
+
+    def test_missing_dot_rejected(self):
+        with pytest.raises(ParseError):
+            parse_nquads("<http://x/a> <http://x/p> <http://x/b>")
+
+    def test_deterministic_serialization(self):
+        ds = Dataset()
+        ds.add_quad(Quad(EX.b, EX.p, EX.c, EX.g1))
+        ds.add_quad(Quad(EX.a, EX.p, EX.b, None))
+        assert serialize_nquads(ds) == serialize_nquads(
+            parse_nquads(serialize_nquads(ds)))
+
+
+class TestExpandedPersistence:
+    @pytest.fixture()
+    def saved(self, tmp_path, population_facet):
+        sofos = Sofos(build_population_graph(), population_facet)
+        selection, catalog = sofos.select_and_materialize("agg_values", k=2)
+        save_expanded(catalog, str(tmp_path))
+        return tmp_path, population_facet, selection, catalog
+
+    def test_files_written(self, saved):
+        tmp_path, facet, selection, catalog = saved
+        assert (tmp_path / "expanded.nq").exists()
+        assert (tmp_path / "catalog.json").exists()
+
+    def test_round_trip_preserves_catalog(self, saved):
+        tmp_path, facet, selection, catalog = saved
+        dataset, loaded = load_expanded(str(tmp_path), facet)
+        assert len(loaded) == len(catalog)
+        assert {e.mask for e in loaded} == {e.mask for e in catalog}
+        for original, restored in zip(catalog, loaded):
+            assert restored.groups == original.groups
+            assert restored.triples == original.triples
+
+    def test_round_trip_preserves_data(self, saved, population_facet):
+        tmp_path, facet, selection, catalog = saved
+        dataset, loaded = load_expanded(str(tmp_path), facet)
+        assert len(dataset.default) == len(catalog.dataset.default)
+        assert len(dataset) == len(catalog.dataset)
+
+    def test_loaded_catalog_answers_queries(self, saved, population_facet):
+        tmp_path, facet, selection, catalog = saved
+        dataset, loaded = load_expanded(str(tmp_path), facet)
+        online = OnlineModule(loaded)
+        query = AnalyticalQuery(facet, 0)
+        answer = online.answer(query)
+        base = online.answer_from_base(query)
+        assert answer.used_view is not None
+        assert answer.table.same_solutions(base.table)
+
+    def test_loaded_views_are_fresh(self, saved):
+        tmp_path, facet, selection, catalog = saved
+        dataset, loaded = load_expanded(str(tmp_path), facet)
+        assert loaded.stale_views() == []
+
+    def test_wrong_facet_rejected(self, saved, population_avg_facet):
+        tmp_path, facet, selection, catalog = saved
+        with pytest.raises(ViewError):
+            load_expanded(str(tmp_path), population_avg_facet)
+
+    def test_missing_directory_rejected(self, tmp_path, population_facet):
+        with pytest.raises(ViewError):
+            load_expanded(str(tmp_path / "nowhere"), population_facet)
+
+    def test_manifest_graph_mismatch_rejected(self, saved):
+        import json
+        tmp_path, facet, selection, catalog = saved
+        manifest_path = tmp_path / "catalog.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["views"].append({
+            "mask": 2, "label": "year", "groups": 1, "triples": 1,
+            "nodes": 1, "build_seconds": 0.0, "base_version": 0})
+        manifest_path.write_text(json.dumps(manifest))
+        if any(e.mask == 2 for e in catalog):
+            pytest.skip("selection already contains mask 2")
+        with pytest.raises(ViewError):
+            load_expanded(str(tmp_path), facet)

@@ -1,0 +1,352 @@
+"""Property-based tests (hypothesis) for core data structures and the
+materialize→rewrite pipeline.
+
+The flagship property is ``test_view_rewrite_equivalence``: for random
+small knowledge graphs, random analytical queries, random aggregates, and
+random covering views, answering through the materialized view must give
+exactly the answers the base graph gives.
+"""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cube import AnalyticalFacet, AnalyticalQuery, FilterCondition, \
+    ViewLattice
+from repro.rdf import Dataset, Graph, IRI, Literal, Namespace, \
+    TermDictionary, Triple, Variable, XSD, parse_ntriples, \
+    serialize_ntriples, typed_literal
+from repro.rdf.terms import BlankNode
+from repro.sparql import QueryEngine
+from repro.sparql.aggregates import make_accumulator
+from repro.sparql.values import order_key
+from repro.views import ViewCatalog, rewrite_on_view
+
+EX = Namespace("http://example.org/")
+
+# --------------------------------------------------------------------------
+# term / triple strategies
+# --------------------------------------------------------------------------
+
+_local = st.text(alphabet=string.ascii_lowercase + string.digits,
+                 min_size=1, max_size=8)
+
+iris = _local.map(lambda s: EX[s])
+bnodes = _local.map(BlankNode)
+plain_literals = st.text(max_size=12).map(Literal)
+lang_literals = st.tuples(
+    st.text(max_size=8),
+    st.sampled_from(["en", "fr", "de", "en-gb"]),
+).map(lambda pair: Literal(pair[0], language=pair[1]))
+int_literals = st.integers(-10 ** 9, 10 ** 9).map(typed_literal)
+float_literals = st.floats(allow_nan=False, allow_infinity=False,
+                           width=32).map(typed_literal)
+literals = st.one_of(plain_literals, lang_literals, int_literals,
+                     float_literals)
+
+subjects = st.one_of(iris, bnodes)
+objects_ = st.one_of(iris, bnodes, literals)
+
+triples = st.builds(Triple, subjects, iris, objects_)
+triple_lists = st.lists(triples, max_size=40)
+
+
+# --------------------------------------------------------------------------
+# store invariants
+# --------------------------------------------------------------------------
+
+class TestStoreProperties:
+    @given(triple_lists)
+    def test_graph_is_a_set_of_triples(self, items):
+        g = Graph()
+        for t in items:
+            g.add(t)
+        assert len(g) == len(set(items))
+        assert set(g) == set(items)
+        for t in items:
+            assert t in g
+
+    @given(triple_lists, triple_lists)
+    def test_add_then_discard_restores(self, base, extra):
+        g = Graph()
+        for t in base:
+            g.add(t)
+        before = set(g)
+        for t in extra:
+            g.add(t)
+        for t in set(extra):
+            if t not in before:
+                assert g.discard(t)
+        assert set(g) == before
+
+    @given(triple_lists)
+    def test_counts_agree_with_scans_on_all_patterns(self, items):
+        g = Graph()
+        for t in items:
+            g.add(t)
+        probes = items[:5] + [Triple(EX.zz, EX.zz, EX.zz)]
+        for probe in probes:
+            for mask in range(8):
+                s = probe.s if mask & 4 else None
+                p = probe.p if mask & 2 else None
+                o = probe.o if mask & 1 else None
+                assert g.count(s, p, o) == len(list(g.triples(s, p, o)))
+
+    @given(triple_lists)
+    def test_ntriples_round_trip(self, items):
+        g = Graph()
+        for t in items:
+            g.add(t)
+        assert set(parse_ntriples(serialize_ntriples(g))) == set(g)
+
+    @given(st.lists(st.one_of(subjects, iris, literals), max_size=30))
+    def test_dictionary_interning_is_bijective(self, terms):
+        d = TermDictionary()
+        ids = [d.encode(t) for t in terms]
+        for term, tid in zip(terms, ids):
+            assert d.decode(tid) == term
+            assert d.encode(term) == tid  # stable on re-encode
+        assert len(d) == len(set(terms))
+
+
+# --------------------------------------------------------------------------
+# value semantics
+# --------------------------------------------------------------------------
+
+class TestValueProperties:
+    @given(st.lists(st.one_of(st.none(), iris, bnodes, literals),
+                    max_size=20))
+    def test_order_key_gives_total_preorder(self, terms):
+        keys = sorted(order_key(t) for t in terms)
+        assert keys == sorted(keys)  # comparable without exceptions
+
+    @given(st.lists(st.integers(-1000, 1000), max_size=30))
+    def test_aggregates_match_python_reference(self, values):
+        terms = [typed_literal(v) for v in values]
+
+        def result(name):
+            acc = make_accumulator(name, distinct=False)
+            for t in terms:
+                acc.add(t)
+            out = acc.result()
+            return None if out is None else out.to_python()
+
+        assert result("COUNT") == len(values)
+        assert result("SUM") == sum(values)
+        assert result("MIN") == (min(values) if values else None)
+        assert result("MAX") == (max(values) if values else None)
+        if values:
+            expected = sum(values) / len(values)
+            assert abs(result("AVG") - expected) < 1e-9
+
+    @given(st.lists(st.integers(-50, 50), min_size=1, max_size=30))
+    def test_distinct_aggregates_match_set_reference(self, values):
+        terms = [typed_literal(v) for v in values]
+        acc = make_accumulator("SUM", distinct=True)
+        for t in terms:
+            acc.add(t)
+        assert acc.result().to_python() == sum(set(values))
+
+
+# --------------------------------------------------------------------------
+# lattice algebra
+# --------------------------------------------------------------------------
+
+_facet_3d = AnalyticalFacet.from_query("prop3", """
+    PREFIX ex: <http://example.org/>
+    SELECT ?a ?b ?c (SUM(?m) AS ?t) WHERE {
+      ?s ex:pa ?a ; ex:pb ?b ; ex:pc ?c ; ex:pm ?m .
+    } GROUP BY ?a ?b ?c""")
+
+
+class TestLatticeProperties:
+    @given(st.integers(0, 7), st.integers(0, 7), st.integers(0, 7))
+    def test_covers_is_a_partial_order(self, x, y, z):
+        lattice = ViewLattice(_facet_3d)
+        vx, vy, vz = lattice[x], lattice[y], lattice[z]
+        assert vx.covers(vx)
+        if vx.covers(vy) and vy.covers(vx):
+            assert x == y
+        if vx.covers(vy) and vy.covers(vz):
+            assert vx.covers(vz)
+
+    @given(st.integers(0, 7))
+    def test_ancestors_descendants_are_inverse(self, x):
+        lattice = ViewLattice(_facet_3d)
+        view = lattice[x]
+        for ancestor in lattice.ancestors(view):
+            assert view in lattice.descendants(ancestor)
+        for descendant in lattice.descendants(view):
+            assert view in lattice.ancestors(descendant)
+
+    @given(st.integers(0, 7))
+    def test_parents_children_are_one_step(self, x):
+        lattice = ViewLattice(_facet_3d)
+        view = lattice[x]
+        for parent in lattice.parents(view):
+            assert parent.level == view.level + 1
+            assert parent.covers(view)
+        for child in lattice.children(view):
+            assert child.level == view.level - 1
+            assert view.covers(child)
+
+
+# --------------------------------------------------------------------------
+# the flagship: materialize → rewrite → equal answers
+# --------------------------------------------------------------------------
+
+_LANG_POOL = ["french", "german", "english", "italian"]
+_YEAR_POOL = [2017, 2018, 2019]
+
+
+@st.composite
+def population_worlds(draw):
+    """A random tiny country/language/population graph + query + view."""
+    n_countries = draw(st.integers(1, 5))
+    graph = Graph()
+    for c in range(n_countries):
+        country = EX[f"country{c}"]
+        langs = draw(st.lists(st.sampled_from(_LANG_POOL), min_size=1,
+                              max_size=3, unique=True))
+        for lang in langs:
+            graph.add(Triple(country, EX.language, EX[lang]))
+        n_obs = draw(st.integers(1, 3))
+        for i in range(n_obs):
+            obs = EX[f"obs{c}_{i}"]
+            graph.add(Triple(obs, EX.ofCountry, country))
+            graph.add(Triple(obs, EX.year,
+                             typed_literal(draw(st.sampled_from(_YEAR_POOL)))))
+            graph.add(Triple(obs, EX.population,
+                             typed_literal(draw(st.integers(-100, 1000)))))
+
+    agg = draw(st.sampled_from(["SUM", "COUNT", "AVG", "MIN", "MAX"]))
+    facet = AnalyticalFacet.from_query("prop", f"""
+        PREFIX ex: <http://example.org/>
+        SELECT ?lang ?year ({agg}(?pop) AS ?m) WHERE {{
+          ?obs ex:ofCountry ?c ; ex:year ?year ; ex:population ?pop .
+          ?c ex:language ?lang .
+        }} GROUP BY ?lang ?year""")
+
+    group_mask = draw(st.integers(0, 3))
+    filters = []
+    if draw(st.booleans()):
+        var, value = draw(st.sampled_from([
+            ("lang", EX[draw(st.sampled_from(_LANG_POOL))]),
+            ("year", typed_literal(draw(st.sampled_from(_YEAR_POOL)))),
+        ]))
+        op = draw(st.sampled_from(["=", "!=", "<", ">="])) \
+            if var == "year" else "="
+        filters.append(FilterCondition(Variable(var), op, value))
+    query = AnalyticalQuery(facet, group_mask, tuple(filters))
+
+    covering = [m for m in range(4)
+                if (query.required_mask & m) == query.required_mask]
+    view_mask = draw(st.sampled_from(covering))
+    return graph, facet, query, view_mask
+
+
+class TestRewriteEquivalenceProperty:
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large])
+    @given(population_worlds())
+    def test_view_rewrite_equivalence(self, world):
+        graph, facet, query, view_mask = world
+        dataset = Dataset.wrap(graph)
+        catalog = ViewCatalog(dataset)
+        view = ViewLattice(facet)[view_mask]
+        catalog.materialize(view)
+
+        base = QueryEngine(dataset.default).query(query.to_select_query())
+        rewritten = rewrite_on_view(query, view)
+        via_view = QueryEngine(dataset.graph(view.iri)).query(rewritten)
+        assert base.same_solutions(via_view), (
+            f"query={query.describe()} view={view.label}\n"
+            f"base:\n{base.render()}\nview:\n{via_view.render()}")
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large])
+    @given(population_worlds())
+    def test_materializer_footprint_matches_profiler(self, world):
+        from repro.cost import LatticeProfile
+        graph, facet, query, view_mask = world
+        lattice = ViewLattice(facet)
+        profile = LatticeProfile.profile(lattice, QueryEngine(graph))
+        dataset = Dataset.wrap(graph)
+        catalog = ViewCatalog(dataset)
+        for view in lattice:
+            entry = catalog.materialize(view)
+            assert entry.triples == profile.triples(view)
+            assert entry.groups == profile.rows(view)
+            assert entry.nodes == profile.nodes(view)
+
+
+# --------------------------------------------------------------------------
+# more round-trip properties
+# --------------------------------------------------------------------------
+
+class TestMoreRoundTrips:
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large])
+    @given(population_worlds())
+    def test_analyzer_round_trips_rendered_queries(self, world):
+        """render(AnalyticalQuery) --parse--> analyze == original query."""
+        from repro.views.analyzer import analyze_query
+        from repro.workload.templates import render_analytical_query
+        graph, facet, query, view_mask = world
+        text = render_analytical_query(query)
+        recovered = analyze_query(text, facet)
+        assert recovered is not None, text
+        assert recovered.group_mask == query.group_mask
+        assert recovered.filters == query.filters
+
+    @given(triple_lists, st.integers(0, 6))
+    def test_bgp_pattern_order_is_irrelevant(self, items, seed):
+        """Shuffling a BGP's triple patterns never changes the solutions."""
+        import random as _random
+        from repro.sparql import QueryEngine
+        g = Graph()
+        for t in items:
+            g.add(t)
+        engine = QueryEngine(g)
+        base_query = ("SELECT ?s ?o ?o2 WHERE { "
+                      "?s <http://example.org/p> ?o . "
+                      "?o <http://example.org/q> ?o2 . "
+                      "?s <http://example.org/r> ?o2 . }")
+        shuffled = ("SELECT ?s ?o ?o2 WHERE { "
+                    "?o <http://example.org/q> ?o2 . "
+                    "?s <http://example.org/r> ?o2 . "
+                    "?s <http://example.org/p> ?o . }")
+        del _random, seed
+        a = engine.query(base_query)
+        b = engine.query(shuffled)
+        assert a.same_solutions(b)
+
+    @given(st.lists(st.builds(Triple, iris, iris,
+                              st.one_of(iris, int_literals, plain_literals)),
+                    max_size=25))
+    def test_turtle_round_trip(self, items):
+        from repro.rdf import parse_turtle, serialize_turtle
+        g = Graph()
+        for t in items:
+            g.add(t)
+        assert set(parse_turtle(serialize_turtle(g))) == set(g)
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=12),
+           st.integers(1, 4))
+    def test_selection_cost_monotone_in_k(self, costs, k):
+        """More views never increase the evaluate_selection_cost total."""
+        from repro.selection import evaluate_selection_cost
+        cost_map = {i: float(abs(c)) for i, c in enumerate(costs)}
+        query_masks = [(i, 1.0) for i in cost_map]
+        base = max(cost_map.values()) + 1.0
+        smaller = evaluate_selection_cost(
+            list(cost_map)[:k], query_masks, cost_map, base)
+        larger = evaluate_selection_cost(
+            list(cost_map)[:min(k + 1, len(cost_map))], query_masks,
+            cost_map, base)
+        assert larger <= smaller + 1e-9

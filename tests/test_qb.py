@@ -1,0 +1,106 @@
+"""Tests for the QB4OLAP facet adapter (the MARVEL setting)."""
+
+import pytest
+
+from repro.core import Sofos
+from repro.cube import ViewLattice
+from repro.cube.qb import QB, facet_from_qb, qb_datasets
+from repro.errors import FacetError
+from repro.rdf import Graph, Namespace, RDF, Triple, Variable, typed_literal
+
+EX = Namespace("http://example.org/cube/")
+
+
+def build_qb_graph(observations: int = 24, measures: int = 1) -> Graph:
+    """A small QB dataset: sales by store x quarter (x optional extra)."""
+    g = Graph()
+    dataset = EX.sales
+    dsd = EX.salesStructure
+    g.add(Triple(dataset, RDF.type, QB.DataSet))
+    g.add(Triple(dataset, QB.structure, dsd))
+    for i, dim in enumerate((EX.store, EX.quarter)):
+        component = EX[f"comp_dim{i}"]
+        g.add(Triple(dsd, QB.component, component))
+        g.add(Triple(component, QB.dimension, dim))
+    for i in range(measures):
+        component = EX[f"comp_measure{i}"]
+        g.add(Triple(dsd, QB.component, component))
+        g.add(Triple(component, QB.measure,
+                     EX.amount if i == 0 else EX[f"amount{i}"]))
+    stores = [EX[f"store{i}"] for i in range(4)]
+    for i in range(observations):
+        obs = EX[f"obs{i}"]
+        g.add(Triple(obs, RDF.type, QB.Observation))
+        g.add(Triple(obs, QB.dataSet, dataset))
+        g.add(Triple(obs, EX.store, stores[i % 4]))
+        g.add(Triple(obs, EX.quarter, typed_literal(1 + i % 3)))
+        g.add(Triple(obs, EX.amount, typed_literal(10 * (i + 1))))
+        if measures > 1:
+            g.add(Triple(obs, EX.amount1, typed_literal(i)))
+    return g
+
+
+class TestFacetDerivation:
+    def test_datasets_discovered(self):
+        g = build_qb_graph()
+        assert qb_datasets(g) == [EX.sales]
+
+    def test_facet_shape(self):
+        facet = facet_from_qb(build_qb_graph())
+        assert facet.dimension_count == 2
+        assert {v.name for v in facet.grouping_variables} == \
+            {"store", "quarter"}
+        assert facet.aggregate.name == "SUM"
+        assert facet.name == "qb:sales"
+
+    def test_single_dataset_inferred(self):
+        facet = facet_from_qb(build_qb_graph(), dataset=None)
+        assert "sales" in facet.name
+
+    def test_missing_structure_raises(self):
+        g = Graph()
+        g.add(Triple(EX.ds, RDF.type, QB.DataSet))
+        with pytest.raises(FacetError):
+            facet_from_qb(g, dataset=EX.ds)
+
+    def test_multiple_measures_require_choice(self):
+        g = build_qb_graph(measures=2)
+        with pytest.raises(FacetError):
+            facet_from_qb(g)
+        facet = facet_from_qb(g, measure=EX.amount)
+        assert facet.dimension_count == 2
+
+    def test_unknown_measure_rejected(self):
+        with pytest.raises(FacetError):
+            facet_from_qb(build_qb_graph(), measure=EX.bogus)
+
+    def test_non_rollup_aggregate_rejected(self):
+        with pytest.raises(FacetError):
+            facet_from_qb(build_qb_graph(), aggregate="SAMPLE")
+
+    def test_custom_aggregate(self):
+        facet = facet_from_qb(build_qb_graph(), aggregate="MAX")
+        assert facet.aggregate.name == "MAX"
+
+
+class TestQBEndToEnd:
+    def test_full_pipeline_on_qb_cube(self):
+        g = build_qb_graph(observations=36)
+        facet = facet_from_qb(g)
+        sofos = Sofos(g, facet, seed=0)
+        assert len(ViewLattice(facet)) == 4
+        sofos.select_and_materialize("agg_values", k=2)
+        for query in sofos.generate_workload(10):
+            via = sofos.answer(query)
+            base = sofos.answer_from_base(query)
+            assert via.table.same_solutions(base.table), query.describe()
+
+    def test_qb_totals_are_correct(self):
+        g = build_qb_graph(observations=10)
+        facet = facet_from_qb(g)
+        sofos = Sofos(g, facet, seed=0)
+        sofos.select_and_materialize("agg_values", k=1)
+        from repro.cube import AnalyticalQuery
+        total = sofos.answer(AnalyticalQuery(facet, 0))
+        assert total.table.rows[0][-1].to_python() == \
+            sum(10 * (i + 1) for i in range(10))

@@ -1,0 +1,154 @@
+"""Unit tests for Dataset (named graphs) and GraphStatistics."""
+
+import pytest
+
+from repro.rdf import Dataset, Graph, GraphStatistics, IRI, Literal, \
+    Namespace, Quad, Triple, typed_literal
+
+EX = Namespace("http://example.org/")
+
+
+class TestDataset:
+    def test_default_graph_exists(self):
+        ds = Dataset()
+        assert len(ds.default) == 0
+        assert ds.graph() is ds.default
+
+    def test_named_graphs_created_on_access(self):
+        ds = Dataset()
+        name = EX.g1
+        assert ds.get_graph(name) is None
+        g = ds.graph(name)
+        assert ds.get_graph(name) is g
+        assert name in ds
+
+    def test_shared_dictionary(self):
+        ds = Dataset()
+        ds.default.add(Triple(EX.a, EX.p, EX.b))
+        g = ds.graph(EX.g1)
+        g.add(Triple(EX.a, EX.p, EX.c))
+        assert g.dictionary is ds.default.dictionary
+
+    def test_len_totals_all_graphs(self):
+        ds = Dataset()
+        ds.default.add(Triple(EX.a, EX.p, EX.b))
+        ds.graph(EX.g1).add(Triple(EX.a, EX.p, EX.c))
+        ds.graph(EX.g2).add(Triple(EX.a, EX.p, EX.d))
+        assert len(ds) == 3
+
+    def test_drop(self):
+        ds = Dataset()
+        ds.graph(EX.g1).add(Triple(EX.a, EX.p, EX.b))
+        assert ds.drop(EX.g1) is True
+        assert ds.drop(EX.g1) is False
+        assert ds.get_graph(EX.g1) is None
+
+    def test_names(self):
+        ds = Dataset()
+        ds.graph(EX.g1)
+        ds.graph(EX.g2)
+        assert set(ds.names()) == {EX.g1, EX.g2}
+
+    def test_add_quad_routes_to_graph(self):
+        ds = Dataset()
+        ds.add_quad(Quad(EX.a, EX.p, EX.b, None))
+        ds.add_quad(Quad(EX.a, EX.p, EX.c, EX.g1))
+        assert len(ds.default) == 1
+        assert len(ds.graph(EX.g1)) == 1
+
+    def test_quads_iteration(self):
+        ds = Dataset()
+        ds.add_quad(Quad(EX.a, EX.p, EX.b, None))
+        ds.add_quad(Quad(EX.a, EX.p, EX.c, EX.g1))
+        quads = list(ds.quads())
+        assert Quad(EX.a, EX.p, EX.b, None) in quads
+        assert Quad(EX.a, EX.p, EX.c, EX.g1) in quads
+
+    def test_storage_report(self):
+        ds = Dataset()
+        ds.default.add(Triple(EX.a, EX.p, EX.b))
+        ds.graph(EX.g1).add(Triple(EX.a, EX.p, EX.c))
+        report = ds.storage_report()
+        assert report[""] == 1
+        assert report[EX.g1.value] == 1
+
+    def test_union_copy_all(self):
+        ds = Dataset()
+        ds.default.add(Triple(EX.a, EX.p, EX.b))
+        ds.graph(EX.g1).add(Triple(EX.a, EX.p, EX.c))
+        merged = ds.union_copy()
+        assert len(merged) == 2
+
+    def test_union_copy_selected(self):
+        ds = Dataset()
+        ds.default.add(Triple(EX.a, EX.p, EX.b))
+        ds.graph(EX.g1).add(Triple(EX.a, EX.p, EX.c))
+        ds.graph(EX.g2).add(Triple(EX.a, EX.p, EX.d))
+        merged = ds.union_copy(iter([EX.g2]))
+        assert set(merged) == {Triple(EX.a, EX.p, EX.b),
+                               Triple(EX.a, EX.p, EX.d)}
+
+    def test_wrap_uses_graph_as_default(self):
+        g = Graph()
+        g.add(Triple(EX.a, EX.p, EX.b))
+        ds = Dataset.wrap(g)
+        assert ds.default is g
+        assert ds.dictionary is g.dictionary
+
+    def test_wrap_named_graph_ids_comparable(self):
+        g = Graph()
+        g.add(Triple(EX.a, EX.p, EX.b))
+        ds = Dataset.wrap(g)
+        named = ds.graph(EX.g1)
+        named.add(Triple(EX.a, EX.p, EX.b))
+        # same dictionary → identical id triples
+        assert next(g._iter_ids()) == next(named._iter_ids())
+
+
+class TestGraphStatistics:
+    def test_counts(self, population_graph):
+        stats = GraphStatistics.of(population_graph)
+        assert stats.triple_count == len(population_graph)
+        assert stats.node_count == population_graph.node_count()
+        assert stats.predicate_count == len(
+            set(population_graph.predicates()))
+
+    def test_node_kind_partition(self, population_graph):
+        stats = GraphStatistics.of(population_graph)
+        assert stats.iri_nodes + stats.blank_nodes + stats.literal_nodes \
+            == stats.node_count
+        assert stats.blank_nodes == 0
+        assert stats.literal_nodes > 0
+
+    def test_predicate_profile(self):
+        g = Graph()
+        g.add(Triple(EX.a, EX.knows, EX.b))
+        g.add(Triple(EX.a, EX.knows, EX.c))
+        g.add(Triple(EX.b, EX.knows, EX.c))
+        stats = GraphStatistics.of(g)
+        profile = stats.predicates[EX.knows]
+        assert profile.triples == 3
+        assert profile.distinct_subjects == 2
+        assert profile.distinct_objects == 2
+        assert profile.avg_fanout == pytest.approx(1.5)
+        assert profile.avg_fanin == pytest.approx(1.5)
+
+    def test_frequency_and_selectivity(self):
+        g = Graph()
+        g.add(Triple(EX.a, EX.p, EX.b))
+        g.add(Triple(EX.a, EX.q, EX.b))
+        g.add(Triple(EX.c, EX.q, EX.b))
+        stats = GraphStatistics.of(g)
+        assert stats.predicate_frequency(EX.q) == 2
+        assert stats.predicate_frequency(EX.missing) == 0
+        assert stats.selectivity(EX.q) == pytest.approx(2 / 3)
+
+    def test_empty_graph(self):
+        stats = GraphStatistics.of(Graph())
+        assert stats.triple_count == 0
+        assert stats.selectivity(EX.p) == 0.0
+
+    def test_summary_keys(self, population_graph):
+        summary = GraphStatistics.of(population_graph).summary()
+        assert set(summary) == {"triples", "nodes", "iri_nodes",
+                                "blank_nodes", "literal_nodes", "predicates"}

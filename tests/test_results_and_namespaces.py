@@ -1,0 +1,143 @@
+"""Unit tests for ResultTable utilities, namespaces, and prefix maps."""
+
+import pytest
+
+from repro.rdf import IRI, Literal, Namespace, PrefixMap, Variable, XSD, \
+    default_prefixes, typed_literal
+from repro.sparql.results import ResultTable
+
+EX = Namespace("http://example.org/")
+
+
+def table(variables, rows):
+    return ResultTable([Variable(v) for v in variables], rows)
+
+
+class TestResultTable:
+    def test_from_bindings_preserves_order(self):
+        t = ResultTable.from_bindings(
+            [Variable("a"), Variable("b")],
+            [{Variable("b"): typed_literal(2), Variable("a"):
+              typed_literal(1)}])
+        assert t.rows == [(typed_literal(1), typed_literal(2))]
+
+    def test_column_by_name_and_variable(self):
+        t = table(["x"], [(typed_literal(1),), (typed_literal(2),)])
+        assert t.column("x") == t.column(Variable("x"))
+        assert [c.to_python() for c in t.column("x")] == [1, 2]
+
+    def test_column_unknown_raises(self):
+        t = table(["x"], [])
+        with pytest.raises(ValueError):
+            t.column("nope")
+
+    def test_scalar_happy_and_sad(self):
+        good = table(["x"], [(typed_literal(7),)])
+        assert good.scalar() == typed_literal(7)
+        assert good.python_value() == 7
+        with pytest.raises(ValueError):
+            table(["x"], []).scalar()
+        with pytest.raises(ValueError):
+            table(["x", "y"], [(None, None)]).scalar()
+
+    def test_python_value_of_unbound_cell(self):
+        assert table(["x"], [(None,)]).python_value() is None
+
+    def test_to_dicts(self):
+        t = table(["a", "b"], [(typed_literal(1), None)])
+        assert t.to_dicts() == [{"a": typed_literal(1), "b": None}]
+
+    def test_same_solutions_ignores_row_and_column_order(self):
+        t1 = table(["a", "b"], [(typed_literal(1), typed_literal(2)),
+                                (typed_literal(3), typed_literal(4))])
+        t2 = table(["b", "a"], [(typed_literal(4), typed_literal(3)),
+                                (typed_literal(2), typed_literal(1))])
+        assert t1.same_solutions(t2)
+
+    def test_same_solutions_respects_multiplicity(self):
+        once = table(["a"], [(typed_literal(1),)])
+        twice = table(["a"], [(typed_literal(1),), (typed_literal(1),)])
+        assert not once.same_solutions(twice)
+
+    def test_same_solutions_numeric_value_equality(self):
+        decimal = table(["a"], [(Literal("6.0", XSD.decimal),)])
+        double = table(["a"], [(Literal("6.0", XSD.double),)])
+        assert decimal.same_solutions(double)
+
+    def test_same_solutions_different_variables(self):
+        assert not table(["a"], []).same_solutions(table(["b"], []))
+
+    def test_render_contains_headers_and_cells(self):
+        t = table(["name"], [(Literal("Alice"),), (None,)])
+        text = t.render()
+        assert "?name" in text and "Alice" in text
+
+    def test_render_truncates(self):
+        t = table(["n"], [(typed_literal(i),) for i in range(100)])
+        text = t.render(max_rows=5)
+        assert "95 more rows" in text
+
+    def test_render_shortens_long_iris(self):
+        long_iri = IRI("http://example.org/" + "x" * 100)
+        text = table(["u"], [(long_iri,)]).render()
+        assert "..." in text
+
+    def test_repr(self):
+        assert "2 rows" in repr(table(["x"], [(None,), (None,)]))
+
+
+class TestNamespace:
+    def test_attribute_and_item_access(self):
+        assert EX.population == IRI("http://example.org/population")
+        assert EX["part-of"] == IRI("http://example.org/part-of")
+
+    def test_containment(self):
+        assert EX.thing in EX
+        assert IRI("http://other.org/x") not in EX
+        assert "not a term" not in EX
+
+    def test_local(self):
+        assert EX.local(EX.thing) == "thing"
+        with pytest.raises(ValueError):
+            EX.local(IRI("http://other.org/x"))
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            EX.base = "other"  # type: ignore[misc]
+
+    def test_dunder_access_raises(self):
+        with pytest.raises(AttributeError):
+            EX.__wrapped__  # noqa: B018
+
+
+class TestPrefixMap:
+    def test_bind_and_expand(self):
+        prefixes = PrefixMap()
+        prefixes.bind("ex", EX)
+        assert prefixes.expand("ex:thing") == EX.thing
+
+    def test_expand_unknown_prefix(self):
+        with pytest.raises(KeyError):
+            PrefixMap().expand("nope:x")
+
+    def test_shrink_picks_shortest(self):
+        prefixes = PrefixMap()
+        prefixes.bind("long", "http://example.org/")
+        prefixes.bind("s", "http://example.org/deep/")
+        assert prefixes.shrink(IRI("http://example.org/deep/x")) == "s:x"
+
+    def test_shrink_unbound_returns_none(self):
+        assert PrefixMap().shrink(EX.thing) is None
+
+    def test_copy_is_independent(self):
+        prefixes = PrefixMap()
+        prefixes.bind("ex", EX)
+        clone = prefixes.copy()
+        clone.bind("other", "http://other.org/")
+        with pytest.raises(KeyError):
+            prefixes.expand("other:x")
+
+    def test_default_prefixes_cover_core_vocabularies(self):
+        prefixes = default_prefixes()
+        bound = dict(prefixes.items())
+        assert {"rdf", "rdfs", "xsd", "sofos"} <= set(bound)

@@ -1,0 +1,254 @@
+"""Tests for the selection strategies: greedy, exhaustive, budget, user."""
+
+import pytest
+
+from repro.errors import SelectionError
+from repro.cost import AggregatedValuesCost, LatticeProfile, RandomCost, \
+    TripleCountCost, create_model
+from repro.cube import AnalyticalQuery, FilterCondition, ViewLattice
+from repro.rdf import Variable, typed_literal
+from repro.selection import ExhaustiveSelector, GreedySelector, \
+    SpaceBudgetSelector, UserSelection, evaluate_selection_cost, \
+    workload_masks
+from repro.sparql import QueryEngine
+
+from tests.conftest import build_population_graph
+
+LANG = Variable("lang")
+YEAR = Variable("year")
+
+
+@pytest.fixture(scope="module")
+def world(population_facet):
+    graph = build_population_graph()
+    lattice = ViewLattice(population_facet)
+    profile = LatticeProfile.profile(lattice, QueryEngine(graph))
+    return lattice, profile
+
+
+def workload_for(facet):
+    return [
+        AnalyticalQuery(facet, 0b01),
+        AnalyticalQuery(facet, 0b01,
+                        (FilterCondition(YEAR, "=", typed_literal(2019)),)),
+        AnalyticalQuery(facet, 0b11),
+        AnalyticalQuery(facet, 0),
+    ]
+
+
+class TestWorkloadMasks:
+    def test_lattice_proxy_when_no_workload(self, world):
+        lattice, profile = world
+        masks = workload_masks(lattice, None)
+        assert [m for m, _ in masks] == [0, 1, 2, 3]
+        assert all(w == 1.0 for _, w in masks)
+
+    def test_workload_masks_weighted_by_frequency(self, world,
+                                                  population_facet):
+        lattice, profile = world
+        queries = workload_for(population_facet)
+        masks = dict(workload_masks(lattice, queries))
+        assert masks[0b01] == 1.0
+        assert masks[0b11] == 2.0   # the filtered query requires lang+year
+        assert masks[0] == 1.0
+
+    def test_evaluate_selection_cost(self):
+        query_masks = [(0b01, 1.0), (0b11, 1.0)]
+        costs = {0b01: 5.0, 0b11: 20.0}
+        # only view 0b01 selected: second query falls back to base
+        total = evaluate_selection_cost([0b01], query_masks, costs, 100.0)
+        assert total == 5.0 + 100.0
+
+
+class TestGreedy:
+    def test_selects_k_views(self, world):
+        lattice, profile = world
+        result = GreedySelector(AggregatedValuesCost()).select(
+            lattice, profile, 2)
+        assert len(result.views) == 2
+        assert len(result.steps) == 2
+        assert result.select_seconds >= 0
+
+    def test_first_pick_maximizes_benefit(self, world):
+        # the greedy invariant: round 1 picks argmax_v sum_q benefit(v, q)
+        lattice, profile = world
+        base = float(profile.base.rows)
+
+        def benefit(view):
+            cost = float(profile.rows(view))
+            return sum(max(0.0, base - cost) for q in lattice
+                       if view.covers_mask(q.mask))
+
+        expected = max(lattice, key=benefit)
+        result = GreedySelector(AggregatedValuesCost()).select(
+            lattice, profile, 1)
+        assert result.views[0].mask == expected.mask
+        assert result.steps[0].benefit == pytest.approx(benefit(expected))
+
+    def test_benefits_non_increasing(self, world):
+        lattice, profile = world
+        result = GreedySelector(AggregatedValuesCost()).select(
+            lattice, profile, 4)
+        benefits = [step.benefit for step in result.steps]
+        assert benefits == sorted(benefits, reverse=True)
+
+    def test_workload_changes_the_selection(self, world, population_facet):
+        # a workload hammering mask 0b11 shifts benefit toward views that
+        # cover it; with enough k the finest view must be included
+        lattice, profile = world
+        queries = [AnalyticalQuery(population_facet, 0b11)] * 10
+        result = GreedySelector(AggregatedValuesCost()).select(
+            lattice, profile, 2, queries)
+        assert any(v.covers_mask(0b11) for v in result.views)
+
+    def test_estimated_cost_decreases_with_k(self, world, population_facet):
+        lattice, profile = world
+        queries = workload_for(population_facet)
+        selector = GreedySelector(AggregatedValuesCost())
+        costs = [selector.select(lattice, profile, k, queries)
+                 .estimated_workload_cost for k in (0, 1, 2, 4)]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_random_model_gives_random_subset(self, world):
+        lattice, profile = world
+        picks = set()
+        for seed in range(8):
+            result = GreedySelector(RandomCost(), seed=seed).select(
+                lattice, profile, 2)
+            picks.add(result.masks)
+        assert len(picks) > 1  # different seeds, different subsets
+
+    def test_deterministic_under_seed(self, world):
+        lattice, profile = world
+        a = GreedySelector(RandomCost(), seed=5).select(lattice, profile, 2)
+        b = GreedySelector(RandomCost(), seed=5).select(lattice, profile, 2)
+        assert a.masks == b.masks
+
+    def test_k_zero(self, world):
+        lattice, profile = world
+        result = GreedySelector(AggregatedValuesCost()).select(
+            lattice, profile, 0)
+        assert result.views == []
+
+    def test_k_larger_than_lattice(self, world):
+        lattice, profile = world
+        result = GreedySelector(AggregatedValuesCost()).select(
+            lattice, profile, 99)
+        assert len(result.views) == len(lattice)
+
+    def test_negative_k_rejected(self, world):
+        lattice, profile = world
+        with pytest.raises(SelectionError):
+            GreedySelector(AggregatedValuesCost()).select(lattice, profile,
+                                                          -1)
+
+    def test_per_unit_space_prefers_small_views(self, world):
+        lattice, profile = world
+        plain = GreedySelector(TripleCountCost(), per_unit_space=False
+                               ).select(lattice, profile, 1)
+        normalized = GreedySelector(TripleCountCost(), per_unit_space=True
+                                    ).select(lattice, profile, 1)
+        size_plain = profile.triples(plain.views[0])
+        size_normalized = profile.triples(normalized.views[0])
+        assert size_normalized <= size_plain
+
+
+class TestExhaustive:
+    def test_matches_or_beats_greedy(self, world, population_facet):
+        lattice, profile = world
+        queries = workload_for(population_facet)
+        model = AggregatedValuesCost()
+        optimal = ExhaustiveSelector(model).select(lattice, profile, 2,
+                                                   queries)
+        greedy = GreedySelector(model).select(lattice, profile, 2, queries)
+        assert optimal.estimated_workload_cost <= \
+            greedy.estimated_workload_cost + 1e-9
+
+    def test_combination_limit(self, world):
+        lattice, profile = world
+        selector = ExhaustiveSelector(AggregatedValuesCost(),
+                                      max_combinations=1)
+        with pytest.raises(SelectionError):
+            selector.select(lattice, profile, 2)
+
+    def test_k_capped_at_lattice_size(self, world):
+        lattice, profile = world
+        result = ExhaustiveSelector(AggregatedValuesCost()).select(
+            lattice, profile, 10)
+        assert len(result.views) == len(lattice)
+
+
+class TestSpaceBudget:
+    def test_respects_budget(self, world):
+        lattice, profile = world
+        budget = profile.triples(lattice[1]) + profile.triples(lattice[2])
+        result = SpaceBudgetSelector(AggregatedValuesCost(),
+                                     triple_budget=budget).select(
+            lattice, profile)
+        used = sum(profile.triples(v) for v in result.views)
+        assert used <= budget
+        assert result.views  # something fits
+
+    def test_zero_budget_selects_nothing(self, world):
+        lattice, profile = world
+        result = SpaceBudgetSelector(AggregatedValuesCost(),
+                                     triple_budget=0).select(lattice,
+                                                             profile)
+        assert result.views == []
+
+    def test_max_views_cap(self, world):
+        lattice, profile = world
+        result = SpaceBudgetSelector(
+            AggregatedValuesCost(), triple_budget=10 ** 9,
+            max_views=1).select(lattice, profile)
+        assert len(result.views) == 1
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(SelectionError):
+            SpaceBudgetSelector(AggregatedValuesCost(), triple_budget=-1)
+
+
+class TestUserSelection:
+    def test_by_label(self, world):
+        lattice, profile = world
+        result = UserSelection(["lang+year", "apex"]).select(lattice,
+                                                             profile)
+        assert result.labels == ["lang+year", "apex"]
+        assert result.strategy == "user"
+
+    def test_by_variable_tuple(self, world):
+        lattice, profile = world
+        result = UserSelection([("lang",)]).select(lattice, profile)
+        assert result.labels == ["lang"]
+
+    def test_by_definition(self, world):
+        lattice, profile = world
+        result = UserSelection([lattice.finest]).select(lattice, profile)
+        assert result.masks == {lattice.finest.mask}
+
+    def test_duplicates_removed(self, world):
+        lattice, profile = world
+        result = UserSelection(["apex", "apex"]).select(lattice, profile)
+        assert result.labels == ["apex"]
+
+    def test_unknown_label_raises_with_hint(self, world):
+        lattice, profile = world
+        with pytest.raises(SelectionError) as err:
+            UserSelection(["nope"]).select(lattice, profile)
+        assert "apex" in str(err.value)
+
+    def test_k_truncates(self, world):
+        lattice, profile = world
+        result = UserSelection(["apex", "lang", "year"]).select(
+            lattice, profile, k=2)
+        assert len(result.views) == 2
+
+    def test_estimated_cost_uses_row_scale(self, world, population_facet):
+        lattice, profile = world
+        queries = workload_for(population_facet)
+        everything = UserSelection(["lang+year"]).select(
+            lattice, profile, workload=queries)
+        nothing = UserSelection([]).select(lattice, profile,
+                                           workload=queries)
+        assert everything.estimated_workload_cost < \
+            nothing.estimated_workload_cost

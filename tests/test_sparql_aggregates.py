@@ -1,0 +1,119 @@
+"""Unit tests for aggregate accumulators."""
+
+import pytest
+
+from repro.rdf import IRI, Literal, XSD, typed_literal
+from repro.sparql.aggregates import make_accumulator
+
+
+def feed(name, values, distinct=False, separator=" ", count_star=False):
+    acc = make_accumulator(name, distinct, separator, count_star)
+    for v in values:
+        acc.add(v)
+    return acc.result()
+
+
+class TestCount:
+    def test_counts_bound_values(self):
+        result = feed("COUNT", [typed_literal(1), None, typed_literal(2)])
+        assert result.to_python() == 2
+
+    def test_count_star_counts_rows(self):
+        result = feed("COUNT", [typed_literal(1), None, None],
+                      count_star=True)
+        assert result.to_python() == 3
+
+    def test_count_distinct(self):
+        result = feed("COUNT", [typed_literal(1), typed_literal(1),
+                                typed_literal(2)], distinct=True)
+        assert result.to_python() == 2
+
+    def test_count_empty_is_zero(self):
+        assert feed("COUNT", []).to_python() == 0
+
+
+class TestSum:
+    def test_integers(self):
+        result = feed("SUM", [typed_literal(1), typed_literal(2),
+                              typed_literal(3)])
+        assert result == Literal("6", XSD.integer)
+
+    def test_mixed_numeric(self):
+        result = feed("SUM", [typed_literal(1), typed_literal(0.5)])
+        assert result.to_python() == 1.5
+
+    def test_empty_sum_is_zero(self):
+        assert feed("SUM", []).to_python() == 0
+
+    def test_distinct(self):
+        result = feed("SUM", [typed_literal(5), typed_literal(5)],
+                      distinct=True)
+        assert result.to_python() == 5
+
+    def test_non_numeric_poisons_group(self):
+        result = feed("SUM", [typed_literal(1), Literal("x")])
+        assert result is None
+
+    def test_unbound_poisons_group(self):
+        assert feed("SUM", [typed_literal(1), None]) is None
+
+
+class TestAvg:
+    def test_mean(self):
+        result = feed("AVG", [typed_literal(2), typed_literal(4)])
+        assert result.to_python() == 3.0
+
+    def test_empty_avg_is_zero(self):
+        assert feed("AVG", []).to_python() == 0
+
+    def test_poisoned(self):
+        assert feed("AVG", [Literal("x")]) is None
+
+
+class TestMinMax:
+    def test_min_max_numeric(self):
+        values = [typed_literal(3), typed_literal(1), typed_literal(2)]
+        assert feed("MIN", values).to_python() == 1
+        assert feed("MAX", values).to_python() == 3
+
+    def test_min_max_strings(self):
+        values = [Literal("b"), Literal("a"), Literal("c")]
+        assert feed("MIN", values) == Literal("a")
+        assert feed("MAX", values) == Literal("c")
+
+    def test_empty_is_unbound(self):
+        assert feed("MIN", []) is None
+        assert feed("MAX", []) is None
+
+    def test_unbound_poisons(self):
+        assert feed("MIN", [typed_literal(1), None]) is None
+
+
+class TestSampleAndGroupConcat:
+    def test_sample_takes_first_bound(self):
+        result = feed("SAMPLE", [None, typed_literal(7), typed_literal(9)])
+        assert result.to_python() == 7
+
+    def test_sample_empty_unbound(self):
+        assert feed("SAMPLE", []) is None
+
+    def test_group_concat(self):
+        result = feed("GROUP_CONCAT", [Literal("a"), Literal("b")],
+                      separator=", ")
+        assert result == Literal("a, b")
+
+    def test_group_concat_iris_stringified(self):
+        result = feed("GROUP_CONCAT", [IRI("http://x/a"), Literal("b")])
+        assert result == Literal("http://x/a b")
+
+    def test_group_concat_distinct(self):
+        result = feed("GROUP_CONCAT", [Literal("a"), Literal("a")],
+                      distinct=True)
+        assert result == Literal("a")
+
+
+class TestFactory:
+    def test_unknown_aggregate_raises(self):
+        from repro.errors import ExpressionError
+        with pytest.raises(ExpressionError):
+            make_accumulator("MEDIAN", False)

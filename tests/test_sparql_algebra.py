@@ -1,0 +1,153 @@
+"""Unit tests for algebra translation and the SPARQL serializer."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import QueryEvaluationError
+from repro.rdf import Variable
+from repro.sparql import parse_query, translate_query
+from repro.sparql.algebra import BGPOp, DistinctOp, ExtendOp, FilterOp, \
+    GroupOp, JoinOp, LeftJoinOp, OrderByOp, ProjectOp, SliceOp, TableOp, \
+    UnionOp, translate_group
+from repro.sparql.serializer import query_text
+
+
+def unwrap(op, *kinds):
+    """Descend through the given single-child operator kinds."""
+    while isinstance(op, kinds):
+        op = op.child
+    return op
+
+
+class TestGroupTranslation:
+    def test_adjacent_bgps_merge(self):
+        q = parse_query("""
+            SELECT ?s WHERE {
+                ?s <http://x/p> ?a .
+                { ?s <http://x/q> ?b . }
+                ?s <http://x/r> ?c .
+            }""")
+        op = translate_group(q.where)
+        assert isinstance(op, BGPOp)
+        assert len(op.patterns) == 3
+
+    def test_filters_apply_last(self):
+        q = parse_query("""
+            SELECT ?s WHERE {
+                FILTER(?a > 1)
+                ?s <http://x/p> ?a .
+            }""")
+        op = translate_group(q.where)
+        assert isinstance(op, FilterOp)
+        assert isinstance(op.child, BGPOp)
+
+    def test_optional_becomes_leftjoin(self):
+        q = parse_query("""
+            SELECT ?s WHERE {
+                ?s <http://x/p> ?a .
+                OPTIONAL { ?s <http://x/q> ?b . }
+            }""")
+        op = translate_group(q.where)
+        assert isinstance(op, LeftJoinOp)
+
+    def test_union_joined(self):
+        q = parse_query("""
+            SELECT ?s WHERE {
+                ?s <http://x/p> ?a .
+                { ?s <http://x/q> ?b . } UNION { ?s <http://x/r> ?b . }
+            }""")
+        op = translate_group(q.where)
+        assert isinstance(op, JoinOp)
+        assert isinstance(op.right, UnionOp)
+
+    def test_leading_union_no_unit_join(self):
+        q = parse_query("""
+            SELECT ?s WHERE {
+                { ?s <http://x/q> ?b . } UNION { ?s <http://x/r> ?b . }
+            }""")
+        op = translate_group(q.where)
+        assert isinstance(op, UnionOp)
+
+    def test_values_becomes_table(self):
+        q = parse_query("""
+            SELECT ?s WHERE { VALUES ?s { <http://x/a> } }""")
+        op = translate_group(q.where)
+        assert isinstance(op, TableOp)
+
+
+class TestQueryTranslation:
+    def test_plain_select_shape(self):
+        q = parse_query("SELECT DISTINCT ?s WHERE { ?s ?p ?o . } LIMIT 3")
+        op = translate_query(q)
+        assert isinstance(op, SliceOp)
+        assert isinstance(op.child, DistinctOp)
+        assert isinstance(op.child.child, ProjectOp)
+
+    def test_aggregate_extraction_shares_identical_aggs(self):
+        q = parse_query("""
+            SELECT ?s (SUM(?n) AS ?a) (SUM(?n) + 1 AS ?b)
+            WHERE { ?s <http://x/p> ?n . } GROUP BY ?s""")
+        op = translate_query(q)
+        project = op
+        assert isinstance(project, ProjectOp)
+        extend2 = project.child
+        assert isinstance(extend2, ExtendOp)
+        extend1 = extend2.child
+        assert isinstance(extend1, ExtendOp)
+        group = extend1.child
+        assert isinstance(group, GroupOp)
+        # one accumulator serves both projections
+        assert len(group.aggregates) == 1
+
+    def test_having_becomes_filter_above_group(self):
+        q = parse_query("""
+            SELECT ?s (COUNT(*) AS ?n) WHERE { ?s ?p ?o . }
+            GROUP BY ?s HAVING((COUNT(*)) > 2)""")
+        op = translate_query(q)
+        inner = unwrap(op, ProjectOp, ExtendOp)
+        assert isinstance(inner, FilterOp)
+        assert isinstance(inner.child, GroupOp)
+
+    def test_order_by_sits_between_extend_and_project(self):
+        q = parse_query("""
+            SELECT ?s WHERE { ?s <http://x/p> ?n . } ORDER BY DESC(?n)""")
+        op = translate_query(q)
+        assert isinstance(op, ProjectOp)
+        assert isinstance(op.child, OrderByOp)
+
+    def test_ungrouped_projection_rejected_at_translation(self):
+        q = parse_query("""
+            SELECT ?o (COUNT(*) AS ?n) WHERE { ?s ?p ?o . } GROUP BY ?s""")
+        with pytest.raises(QueryEvaluationError):
+            translate_query(q)
+
+
+class TestSerializerRoundTrip:
+    CASES = [
+        "SELECT ?s WHERE { ?s ?p ?o . }",
+        "SELECT DISTINCT ?s ?o WHERE { ?s <http://x/p> ?o . } LIMIT 3 OFFSET 1",
+        """PREFIX ex: <http://example.org/>
+           SELECT ?s WHERE { ?s ex:p "lit"@en ; ex:q 5 . FILTER(?s != ex:a) }""",
+        """SELECT ?s WHERE {
+             { ?s <http://x/p> ?a . } UNION { ?s <http://x/q> ?a . }
+             OPTIONAL { ?s <http://x/r> ?b . }
+             BIND(?a * 2 AS ?c)
+             VALUES (?s) { (<http://x/v>) (UNDEF) }
+           }""",
+        """SELECT ?g (SUM(?n) AS ?total) (COUNT(DISTINCT ?s) AS ?m)
+           WHERE { ?s <http://x/p> ?n ; <http://x/g> ?g . }
+           GROUP BY ?g HAVING((SUM(?n)) > 0) ORDER BY DESC(?total)""",
+        """SELECT ?s WHERE { ?s ?p ?o .
+             FILTER(EXISTS { ?s <http://x/q> ?z . }) }""",
+        """SELECT ?s WHERE { ?s ?p ?o .
+             FILTER(?o IN (1, 2) || !(?o NOT IN (3))) }""",
+        'SELECT (GROUP_CONCAT(?s; SEPARATOR = "; ") AS ?all) WHERE { ?s ?p ?o . }',
+    ]
+
+    @pytest.mark.parametrize("query", CASES)
+    def test_parse_print_parse_fixpoint(self, query):
+        first = parse_query(query)
+        printed = query_text(first)
+        second = parse_query(printed)
+        assert replace(first, text="") == replace(second, text="")

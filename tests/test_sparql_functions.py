@@ -1,0 +1,180 @@
+"""Unit tests for the builtin SPARQL function library."""
+
+import pytest
+
+from repro.errors import ExpressionError
+from repro.rdf import IRI, BlankNode, Literal, XSD, typed_literal
+from repro.sparql.functions import BUILTIN_NAMES, call_builtin
+
+
+def call(name, *args):
+    return call_builtin(name, list(args))
+
+
+class TestStringFunctions:
+    def test_str_of_literal_and_iri(self):
+        assert call("STR", Literal("x", language="en")) == Literal("x")
+        assert call("STR", IRI("http://x/a")) == Literal("http://x/a")
+
+    def test_lang(self):
+        assert call("LANG", Literal("x", language="en")) == Literal("en")
+        assert call("LANG", Literal("x")) == Literal("")
+
+    def test_langmatches(self):
+        assert call("LANGMATCHES", Literal("en-GB"),
+                    Literal("en")).to_python() is True
+        assert call("LANGMATCHES", Literal("fr"),
+                    Literal("en")).to_python() is False
+        assert call("LANGMATCHES", Literal("fr"),
+                    Literal("*")).to_python() is True
+        assert call("LANGMATCHES", Literal(""),
+                    Literal("*")).to_python() is False
+
+    def test_datatype(self):
+        assert call("DATATYPE", typed_literal(5)) == XSD.integer
+
+    def test_strlen_ucase_lcase(self):
+        assert call("STRLEN", Literal("abc")).to_python() == 3
+        assert call("UCASE", Literal("abc")) == Literal("ABC")
+        assert call("LCASE", Literal("ABC")) == Literal("abc")
+
+    def test_case_preserves_language(self):
+        out = call("UCASE", Literal("abc", language="en"))
+        assert out == Literal("ABC", language="en")
+
+    def test_concat(self):
+        assert call("CONCAT", Literal("a"), Literal("b"),
+                    Literal("c")) == Literal("abc")
+        assert call("CONCAT") == Literal("")
+
+    def test_substr_one_based(self):
+        assert call("SUBSTR", Literal("hello"),
+                    typed_literal(2)) == Literal("ello")
+        assert call("SUBSTR", Literal("hello"), typed_literal(2),
+                    typed_literal(3)) == Literal("ell")
+
+    def test_contains_starts_ends(self):
+        assert call("CONTAINS", Literal("abc"),
+                    Literal("b")).to_python() is True
+        assert call("STRSTARTS", Literal("abc"),
+                    Literal("ab")).to_python() is True
+        assert call("STRENDS", Literal("abc"),
+                    Literal("bc")).to_python() is True
+
+    def test_strbefore_strafter(self):
+        assert call("STRBEFORE", Literal("a-b"), Literal("-")) == Literal("a")
+        assert call("STRAFTER", Literal("a-b"), Literal("-")) == Literal("b")
+        assert call("STRBEFORE", Literal("ab"), Literal("-")) == Literal("")
+
+    def test_replace(self):
+        assert call("REPLACE", Literal("banana"), Literal("an"),
+                    Literal("x")) == Literal("bxxa")
+
+    def test_replace_with_flags(self):
+        assert call("REPLACE", Literal("Banana"), Literal("b"),
+                    Literal("x"), Literal("i")) == Literal("xanana")
+
+    def test_encode_for_uri(self):
+        assert call("ENCODE_FOR_URI",
+                    Literal("a b/c")) == Literal("a%20b%2Fc")
+
+
+class TestRegex:
+    def test_basic(self):
+        assert call("REGEX", Literal("abc123"),
+                    Literal(r"\d+")).to_python() is True
+
+    def test_flags(self):
+        assert call("REGEX", Literal("ABC"), Literal("abc"),
+                    Literal("i")).to_python() is True
+
+    def test_invalid_pattern_raises(self):
+        with pytest.raises(ExpressionError):
+            call("REGEX", Literal("abc"), Literal("("))
+
+    def test_invalid_flag_raises(self):
+        with pytest.raises(ExpressionError):
+            call("REGEX", Literal("a"), Literal("a"), Literal("z"))
+
+
+class TestNumericFunctions:
+    def test_abs(self):
+        assert call("ABS", typed_literal(-5)).to_python() == 5
+        assert call("ABS", typed_literal(-2.5)).to_python() == 2.5
+
+    def test_ceil_floor_round(self):
+        assert call("CEIL", typed_literal(2.1)).to_python() == 3
+        assert call("FLOOR", typed_literal(2.9)).to_python() == 2
+        assert call("ROUND", typed_literal(2.5)).to_python() == 3
+        assert call("ROUND", typed_literal(2.4)).to_python() == 2
+
+    def test_non_numeric_raises(self):
+        with pytest.raises(ExpressionError):
+            call("ABS", Literal("x"))
+
+
+class TestTermFunctions:
+    def test_iri_constructor(self):
+        assert call("IRI", Literal("http://x/a")) == IRI("http://x/a")
+        assert call("URI", IRI("http://x/a")) == IRI("http://x/a")
+
+    def test_bnode_fresh(self):
+        a = call("BNODE")
+        b = call("BNODE")
+        assert isinstance(a, BlankNode)
+        assert a != b
+
+    def test_sameterm(self):
+        assert call("SAMETERM", typed_literal(5),
+                    typed_literal(5)).to_python() is True
+        # value-equal but different terms
+        assert call("SAMETERM", Literal("5", XSD.integer),
+                    Literal("5.0", XSD.double)).to_python() is False
+
+    def test_type_checks(self):
+        assert call("ISIRI", IRI("http://x/a")).to_python() is True
+        assert call("ISBLANK", BlankNode("b")).to_python() is True
+        assert call("ISLITERAL", Literal("x")).to_python() is True
+        assert call("ISNUMERIC", typed_literal(5)).to_python() is True
+        assert call("ISNUMERIC", Literal("five")).to_python() is False
+        assert call("ISNUMERIC", IRI("http://x/a")).to_python() is False
+
+    def test_type_checks_unbound_raise(self):
+        for name in ("ISIRI", "ISBLANK", "ISLITERAL"):
+            with pytest.raises(ExpressionError):
+                call(name, None)
+
+
+class TestDateFunctions:
+    def test_year_month_day(self):
+        date = Literal("2019-03-11", XSD.date)
+        assert call("YEAR", date).to_python() == 2019
+        assert call("MONTH", date).to_python() == 3
+        assert call("DAY", date).to_python() == 11
+
+    def test_year_of_gyear(self):
+        assert call("YEAR", Literal("2019", XSD.gYear)).to_python() == 2019
+
+    def test_month_missing_raises(self):
+        with pytest.raises(ExpressionError):
+            call("MONTH", Literal("2019", XSD.gYear))
+
+    def test_not_a_date_raises(self):
+        with pytest.raises(ExpressionError):
+            call("YEAR", Literal("soon"))
+
+
+class TestDispatch:
+    def test_unknown_function(self):
+        with pytest.raises(ExpressionError):
+            call("FROBNICATE", Literal("x"))
+
+    def test_arity_check(self):
+        with pytest.raises(ExpressionError):
+            call("STRLEN")
+        with pytest.raises(ExpressionError):
+            call("STRLEN", Literal("a"), Literal("b"))
+
+    def test_builtin_names_include_lazy(self):
+        assert {"BOUND", "IF", "COALESCE"} <= BUILTIN_NAMES
+        assert "STR" in BUILTIN_NAMES

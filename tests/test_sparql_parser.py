@@ -1,0 +1,331 @@
+"""Unit tests for the SPARQL tokenizer and parser."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.rdf import IRI, Literal, Namespace, Variable, XSD
+from repro.sparql import parse_query
+from repro.sparql.ast import AggregateExpr, BGPElement, BindElement, \
+    CompareExpr, FilterElement, OptionalElement, UnionElement, \
+    ValuesElement, VarExpr
+from repro.sparql.tokens import tokenize
+
+EX = Namespace("http://example.org/")
+
+
+class TestTokenizer:
+    def test_variables_both_sigils(self):
+        tokens = [t for t in tokenize("?x $y") if t.kind != "eof"]
+        assert [t.value for t in tokens] == ["?x", "$y"]
+
+    def test_keywords_case_insensitive(self):
+        tokens = list(tokenize("select Select SELECT"))
+        assert all(t.value == "SELECT" for t in tokens[:-1])
+
+    def test_comment_skipped(self):
+        tokens = [t for t in tokenize("?x # comment\n?y") if t.kind != "eof"]
+        assert [t.value for t in tokens] == ["?x", "?y"]
+
+    def test_numbers_unsigned(self):
+        kinds = [(t.kind, t.value) for t in tokenize("5 5.5 5e2")
+                 if t.kind != "eof"]
+        assert kinds == [("number", "5"), ("number", "5.5"),
+                         ("number", "5e2")]
+
+    def test_operators(self):
+        values = [t.value for t in tokenize("<= >= != && || ^^")
+                  if t.kind != "eof"]
+        assert values == ["<=", ">=", "!=", "&&", "||", "^^"]
+
+    def test_line_and_column_tracking(self):
+        tokens = list(tokenize("?a\n  ?b"))
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[1].column == 3
+
+    def test_bad_character_raises(self):
+        with pytest.raises(QuerySyntaxError):
+            list(tokenize("SELECT @@ WHERE"))
+
+
+class TestParserBasics:
+    def test_simple_select(self):
+        q = parse_query("SELECT ?s WHERE { ?s ?p ?o . }")
+        assert q.projected_variables() == [Variable("s")]
+        assert not q.distinct
+        assert len(q.where.triple_patterns()) == 1
+
+    def test_star_projection(self):
+        q = parse_query("SELECT * WHERE { ?s ?p ?o . }")
+        assert q.star
+        assert set(q.projected_variables()) == {Variable("s"), Variable("p"),
+                                                Variable("o")}
+
+    def test_distinct(self):
+        q = parse_query("SELECT DISTINCT ?s WHERE { ?s ?p ?o . }")
+        assert q.distinct
+
+    def test_prefix_expansion(self):
+        q = parse_query("""
+            PREFIX ex: <http://example.org/>
+            SELECT ?s WHERE { ?s ex:p ex:o . }
+        """)
+        tp = q.where.triple_patterns()[0]
+        assert tp.p == EX.p
+        assert tp.o == EX.o
+
+    def test_unknown_prefix_raises(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("SELECT ?s WHERE { ?s nope:p ?o . }")
+
+    def test_a_keyword_is_rdf_type(self):
+        from repro.rdf import RDF
+        q = parse_query("SELECT ?s WHERE { ?s a <http://x/T> . }")
+        assert q.where.triple_patterns()[0].p == RDF.type
+
+    def test_semicolon_and_comma(self):
+        q = parse_query("""
+            PREFIX ex: <http://example.org/>
+            SELECT ?s WHERE { ?s ex:p ?a ; ex:q ?b , ?c . }
+        """)
+        patterns = q.where.triple_patterns()
+        assert len(patterns) == 3
+        assert all(tp.s == Variable("s") for tp in patterns)
+
+    def test_literals(self):
+        q = parse_query("""
+            PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+            SELECT ?s WHERE {
+                ?s <http://x/p> "plain" ;
+                   <http://x/q> "fr"@fr ;
+                   <http://x/r> "7"^^xsd:integer ;
+                   <http://x/n> 42 ;
+                   <http://x/d> 4.2 ;
+                   <http://x/b> true .
+            }
+        """)
+        objects = [tp.o for tp in q.where.triple_patterns()]
+        assert Literal("plain") in objects
+        assert Literal("fr", language="fr") in objects
+        assert Literal("7", XSD.integer) in objects
+        assert Literal("42", XSD.integer) in objects
+        assert Literal("4.2", XSD.decimal) in objects
+        assert Literal("true", XSD.boolean) in objects
+
+    def test_limit_offset_any_order(self):
+        q1 = parse_query("SELECT ?s WHERE { ?s ?p ?o . } LIMIT 5 OFFSET 2")
+        q2 = parse_query("SELECT ?s WHERE { ?s ?p ?o . } OFFSET 2 LIMIT 5")
+        assert (q1.limit, q1.offset) == (5, 2)
+        assert (q2.limit, q2.offset) == (5, 2)
+
+    def test_order_by_variants(self):
+        q = parse_query(
+            "SELECT ?s ?n WHERE { ?s <http://x/p> ?n . } "
+            "ORDER BY DESC(?n) ?s")
+        assert len(q.order_by) == 2
+        assert not q.order_by[0].ascending
+        assert q.order_by[1].ascending
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("SELECT ?s WHERE { ?s ?p ?o . } nonsense")
+
+    def test_ask_rejected_with_clear_message(self):
+        with pytest.raises(QuerySyntaxError) as err:
+            parse_query("ASK { ?s ?p ?o . }")
+        assert "SELECT" in str(err.value)
+
+    def test_missing_where_block_ok(self):
+        # WHERE keyword is optional per the SPARQL grammar
+        q = parse_query("SELECT ?s { ?s ?p ?o . }")
+        assert len(q.where.triple_patterns()) == 1
+
+
+class TestParserGroups:
+    def test_filter_element(self):
+        q = parse_query("SELECT ?s WHERE { ?s <http://x/p> ?n . "
+                        "FILTER(?n > 5) }")
+        filters = q.where.filters()
+        assert len(filters) == 1
+        assert isinstance(filters[0], CompareExpr)
+
+    def test_optional_element(self):
+        q = parse_query("SELECT ?s WHERE { ?s <http://x/p> ?n . "
+                        "OPTIONAL { ?s <http://x/q> ?m . } }")
+        optionals = [e for e in q.where.elements
+                     if isinstance(e, OptionalElement)]
+        assert len(optionals) == 1
+        assert len(optionals[0].group.triple_patterns()) == 1
+
+    def test_union_element(self):
+        q = parse_query("""
+            SELECT ?s WHERE {
+                { ?s <http://x/p> ?n . } UNION { ?s <http://x/q> ?n . }
+            }
+        """)
+        unions = [e for e in q.where.elements if isinstance(e, UnionElement)]
+        assert len(unions) == 1
+        assert len(unions[0].branches) == 2
+
+    def test_plain_braces_flattened(self):
+        q = parse_query("SELECT ?s WHERE { { ?s <http://x/p> ?n . } }")
+        assert len(q.where.triple_patterns()) == 1
+
+    def test_bind_element(self):
+        q = parse_query("SELECT ?s ?double WHERE { ?s <http://x/p> ?n . "
+                        "BIND(?n * 2 AS ?double) }")
+        binds = [e for e in q.where.elements if isinstance(e, BindElement)]
+        assert len(binds) == 1
+        assert binds[0].var == Variable("double")
+
+    def test_values_single_variable(self):
+        q = parse_query("""
+            SELECT ?s WHERE {
+                ?s <http://x/p> ?o .
+                VALUES ?o { <http://x/a> <http://x/b> }
+            }
+        """)
+        values = [e for e in q.where.elements
+                  if isinstance(e, ValuesElement)]
+        assert values[0].variables == (Variable("o"),)
+        assert len(values[0].rows) == 2
+
+    def test_values_multi_variable_with_undef(self):
+        q = parse_query("""
+            SELECT ?s WHERE {
+                ?s <http://x/p> ?o .
+                VALUES (?s ?o) { (<http://x/a> UNDEF) (UNDEF 5) }
+            }
+        """)
+        values = [e for e in q.where.elements
+                  if isinstance(e, ValuesElement)][0]
+        assert values.rows[0][1] is None
+        assert values.rows[1][0] is None
+
+    def test_values_arity_mismatch_raises(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("""
+                SELECT ?s WHERE {
+                    VALUES (?a ?b) { (<http://x/a>) }
+                }
+            """)
+
+    def test_graph_keyword_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query(
+                "SELECT ?s WHERE { GRAPH <http://x/g> { ?s ?p ?o . } }")
+
+
+class TestParserAggregates:
+    def test_count_star(self):
+        q = parse_query("SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o . }")
+        item = q.projection[0]
+        assert isinstance(item.expression, AggregateExpr)
+        assert item.expression.operand is None
+
+    def test_group_by_and_aggregate(self):
+        q = parse_query("""
+            SELECT ?s (SUM(?n) AS ?total) WHERE { ?s <http://x/p> ?n . }
+            GROUP BY ?s
+        """)
+        assert q.group_by == (Variable("s"),)
+        assert q.has_aggregates
+
+    def test_count_distinct(self):
+        q = parse_query(
+            "SELECT (COUNT(DISTINCT ?s) AS ?n) WHERE { ?s ?p ?o . }")
+        agg = q.projection[0].expression
+        assert isinstance(agg, AggregateExpr)
+        assert agg.distinct
+
+    def test_group_concat_separator(self):
+        q = parse_query(
+            'SELECT (GROUP_CONCAT(?s; SEPARATOR = ", ") AS ?all) '
+            'WHERE { ?s ?p ?o . }')
+        agg = q.projection[0].expression
+        assert agg.separator == ", "
+
+    def test_having(self):
+        q = parse_query("""
+            SELECT ?s (SUM(?n) AS ?total) WHERE { ?s <http://x/p> ?n . }
+            GROUP BY ?s HAVING((SUM(?n)) > 10)
+        """)
+        assert len(q.having) == 1
+
+    def test_all_five_paper_aggregates(self):
+        for name in ("SUM", "AVG", "COUNT", "MAX", "MIN"):
+            q = parse_query(
+                f"SELECT ({name}(?n) AS ?x) WHERE {{ ?s <http://x/p> ?n . }}")
+            assert q.projection[0].expression.name == name
+
+    def test_group_by_requires_variable(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o . } "
+                        "GROUP BY")
+
+
+class TestParserExpressions:
+    def test_precedence_or_and(self):
+        from repro.sparql.ast import OrExpr, AndExpr
+        q = parse_query("SELECT ?s WHERE { ?s ?p ?o . "
+                        "FILTER(?a || ?b && ?c) }")
+        expr = q.where.filters()[0]
+        assert isinstance(expr, OrExpr)
+        assert isinstance(expr.right, AndExpr)
+
+    def test_arithmetic_precedence(self):
+        from repro.sparql.ast import ArithExpr
+        q = parse_query("SELECT ?s WHERE { ?s ?p ?o . "
+                        "FILTER(?a + ?b * ?c = 7) }")
+        cmp = q.where.filters()[0]
+        add = cmp.left
+        assert isinstance(add, ArithExpr) and add.op == "+"
+        assert isinstance(add.right, ArithExpr) and add.right.op == "*"
+
+    def test_unary_not_and_minus(self):
+        from repro.sparql.ast import NotExpr, NegExpr
+        q = parse_query("SELECT ?s WHERE { ?s ?p ?o . "
+                        "FILTER(!?a || -?b < 0) }")
+        expr = q.where.filters()[0]
+        assert isinstance(expr.left, NotExpr)
+        assert isinstance(expr.right.left, NegExpr)
+
+    def test_in_and_not_in(self):
+        from repro.sparql.ast import InExpr
+        q = parse_query("""
+            SELECT ?s WHERE { ?s ?p ?o .
+                FILTER(?o IN (1, 2, 3))
+                FILTER(?o NOT IN (4))
+            }
+        """)
+        first, second = q.where.filters()
+        assert isinstance(first, InExpr) and not first.negated
+        assert isinstance(second, InExpr) and second.negated
+
+    def test_function_calls(self):
+        from repro.sparql.ast import FuncCall
+        q = parse_query("SELECT ?s WHERE { ?s ?p ?o . "
+                        "FILTER(CONTAINS(STR(?o), \"x\")) }")
+        expr = q.where.filters()[0]
+        assert isinstance(expr, FuncCall)
+        assert expr.name == "CONTAINS"
+        assert isinstance(expr.args[0], FuncCall)
+
+    def test_exists(self):
+        from repro.sparql.ast import ExistsExpr
+        q = parse_query("""
+            SELECT ?s WHERE { ?s <http://x/p> ?o .
+                FILTER(EXISTS { ?s <http://x/q> ?z . })
+                FILTER(NOT EXISTS { ?s <http://x/r> ?z . })
+            }
+        """)
+        first, second = q.where.filters()
+        assert isinstance(first, ExistsExpr) and not first.negated
+        assert isinstance(second, ExistsExpr) and second.negated
+
+    def test_expression_variables_collection(self):
+        q = parse_query("SELECT ?s WHERE { ?s ?p ?o . "
+                        "FILTER(?a + ?b > STRLEN(STR(?c))) }")
+        expr = q.where.filters()[0]
+        assert expr.variables() == {Variable("a"), Variable("b"),
+                                    Variable("c")}

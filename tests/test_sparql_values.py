@@ -1,0 +1,174 @@
+"""Unit tests for SPARQL value semantics: EBV, comparison, ordering."""
+
+import pytest
+
+from repro.errors import ExpressionError
+from repro.rdf import IRI, BlankNode, Literal, XSD, typed_literal
+from repro.sparql.values import compare, ebv, equals, numeric_result, \
+    order_key, string_value, to_number
+
+
+class TestToNumber:
+    def test_integer(self):
+        assert to_number(typed_literal(5)) == 5
+
+    def test_double(self):
+        assert to_number(typed_literal(2.5)) == 2.5
+
+    def test_unbound_raises(self):
+        with pytest.raises(ExpressionError):
+            to_number(None)
+
+    def test_non_numeric_raises(self):
+        with pytest.raises(ExpressionError):
+            to_number(Literal("five"))
+
+    def test_iri_raises(self):
+        with pytest.raises(ExpressionError):
+            to_number(IRI("http://x/a"))
+
+    def test_bad_lexical_raises_expression_error(self):
+        with pytest.raises(ExpressionError):
+            to_number(Literal("xyz", XSD.integer))
+
+
+class TestNumericResult:
+    def test_int_stays_integer(self):
+        assert numeric_result(5) == Literal("5", XSD.integer)
+
+    def test_float(self):
+        lit = numeric_result(2.5)
+        assert lit.datatype == XSD.double
+        assert lit.to_python() == 2.5
+
+    def test_integer_division_becomes_decimal(self):
+        five = Literal("5", XSD.integer)
+        lit = numeric_result(10 / 5, five, five)
+        assert lit.datatype in (XSD.decimal, XSD.double)
+        assert lit.to_python() == 2.0
+
+
+class TestEBV:
+    def test_booleans(self):
+        assert ebv(typed_literal(True)) is True
+        assert ebv(typed_literal(False)) is False
+
+    def test_numbers(self):
+        assert ebv(typed_literal(1)) is True
+        assert ebv(typed_literal(0)) is False
+        assert ebv(typed_literal(0.0)) is False
+        assert ebv(typed_literal(float("nan"))) is False
+
+    def test_strings(self):
+        assert ebv(Literal("x")) is True
+        assert ebv(Literal("")) is False
+
+    def test_unbound_raises(self):
+        with pytest.raises(ExpressionError):
+            ebv(None)
+
+    def test_iri_raises(self):
+        with pytest.raises(ExpressionError):
+            ebv(IRI("http://x/a"))
+
+    def test_malformed_boolean_is_false(self):
+        assert ebv(Literal("maybe", XSD.boolean)) is False
+
+
+class TestEquals:
+    def test_numeric_value_equality_across_types(self):
+        assert equals(Literal("5", XSD.integer), Literal("5.0", XSD.double))
+
+    def test_string_equality(self):
+        assert equals(Literal("a"), Literal("a"))
+        assert not equals(Literal("a"), Literal("b"))
+
+    def test_language_tags_matter(self):
+        assert not equals(Literal("a", language="en"),
+                          Literal("a", language="fr"))
+
+    def test_iri_equality(self):
+        assert equals(IRI("http://x/a"), IRI("http://x/a"))
+        assert not equals(IRI("http://x/a"), IRI("http://x/b"))
+
+    def test_unbound_raises(self):
+        with pytest.raises(ExpressionError):
+            equals(None, Literal("a"))
+
+    def test_incomparable_datatypes_raise(self):
+        with pytest.raises(ExpressionError):
+            equals(Literal("a"), Literal("2019", XSD.gYear))
+
+
+class TestCompare:
+    def test_numeric_ordering(self):
+        assert compare("<", typed_literal(1), typed_literal(2))
+        assert compare(">=", typed_literal(2), typed_literal(2))
+        assert not compare(">", typed_literal(1), typed_literal(2))
+
+    def test_mixed_numeric_types(self):
+        assert compare("<", Literal("1", XSD.integer),
+                       Literal("1.5", XSD.double))
+
+    def test_string_ordering(self):
+        assert compare("<", Literal("apple"), Literal("banana"))
+
+    def test_boolean_ordering(self):
+        assert compare("<", typed_literal(False), typed_literal(True))
+
+    def test_same_datatype_fallback_lexical(self):
+        assert compare("<", Literal("2018", XSD.gYear),
+                       Literal("2019", XSD.gYear))
+
+    def test_cross_datatype_order_raises(self):
+        with pytest.raises(ExpressionError):
+            compare("<", Literal("a"), typed_literal(5))
+
+    def test_not_equals_of_distinct_incomparables_is_true(self):
+        assert compare("!=", Literal("a"), Literal("2019", XSD.gYear))
+
+    def test_ordering_iri_raises(self):
+        with pytest.raises(ExpressionError):
+            compare("<", IRI("http://x/a"), IRI("http://x/b"))
+
+    def test_equals_dispatch(self):
+        assert compare("=", typed_literal(5), typed_literal(5))
+        assert compare("!=", typed_literal(5), typed_literal(6))
+
+
+class TestStringValue:
+    def test_literal(self):
+        assert string_value(Literal("x", language="en")) == "x"
+
+    def test_iri(self):
+        assert string_value(IRI("http://x/a")) == "http://x/a"
+
+    def test_blank_raises(self):
+        with pytest.raises(ExpressionError):
+            string_value(BlankNode("b"))
+
+    def test_unbound_raises(self):
+        with pytest.raises(ExpressionError):
+            string_value(None)
+
+
+class TestOrderKey:
+    def test_total_order_kinds(self):
+        keys = [order_key(None), order_key(BlankNode("b")),
+                order_key(IRI("http://x/a")), order_key(Literal("z"))]
+        assert keys == sorted(keys)
+
+    def test_numeric_by_value_not_lexical(self):
+        assert order_key(typed_literal(9)) < order_key(typed_literal(10))
+
+    def test_numeric_across_datatypes(self):
+        assert order_key(Literal("2", XSD.integer)) < \
+            order_key(Literal("10.5", XSD.double))
+
+    def test_sortable_mixed_list(self):
+        terms = [typed_literal(3), None, IRI("http://x/a"), Literal("s"),
+                 BlankNode("b"), typed_literal(1.5)]
+        ordered = sorted(terms, key=order_key)
+        assert ordered[0] is None
+        assert isinstance(ordered[1], BlankNode)
+        assert isinstance(ordered[2], IRI)

@@ -1,0 +1,135 @@
+"""Tests for workload generation and query templates."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.rdf import Literal, Variable, typed_literal
+from repro.sparql import QueryEngine
+from repro.workload import QueryTemplate, WorkloadConfig, WorkloadGenerator, \
+    dimension_values, render_analytical_query
+
+from tests.conftest import EX, build_population_graph
+
+
+@pytest.fixture(scope="module")
+def generator(population_facet):
+    engine = QueryEngine(build_population_graph())
+    return WorkloadGenerator(population_facet, engine,
+                             WorkloadConfig(seed=42))
+
+
+class TestDimensionValues:
+    def test_domains_are_actual_values(self, population_facet):
+        engine = QueryEngine(build_population_graph())
+        domains = dimension_values(population_facet, engine)
+        langs = domains[Variable("lang")]
+        assert EX.french in langs and EX.german in langs
+        years = {t.to_python() for t in domains[Variable("year")]}
+        assert years == {2018, 2019}
+
+    def test_domains_sorted_deterministically(self, population_facet):
+        engine = QueryEngine(build_population_graph())
+        a = dimension_values(population_facet, engine)
+        b = dimension_values(population_facet, engine)
+        assert a == b
+
+
+class TestWorkloadGenerator:
+    def test_deterministic_by_seed(self, population_facet):
+        engine = QueryEngine(build_population_graph())
+        a = WorkloadGenerator(population_facet, engine,
+                              WorkloadConfig(seed=1)).generate(20)
+        b = WorkloadGenerator(population_facet, engine,
+                              WorkloadConfig(seed=1)).generate(20)
+        assert [(q.group_mask, q.filters) for q in a] == \
+            [(q.group_mask, q.filters) for q in b]
+
+    def test_size(self, generator):
+        assert len(generator.generate(15)) == 15
+        assert len(generator.generate()) == WorkloadConfig().size
+
+    def test_queries_are_well_formed(self, generator, population_facet):
+        for query in generator.generate(50):
+            assert query.facet is population_facet
+            assert 0 <= query.group_mask < population_facet.lattice_size
+            for condition in query.filters:
+                assert condition.var in population_facet.grouping_variables
+
+    def test_filter_values_come_from_domains(self, generator):
+        domains = generator.domains
+        for query in generator.generate(50):
+            for condition in query.filters:
+                if condition.op == "=":
+                    assert condition.value in domains[condition.var]
+
+    def test_all_queries_executable_on_base(self, generator):
+        engine = QueryEngine(build_population_graph())
+        for query in generator.generate(30):
+            engine.query(query.to_select_query())  # must not raise
+
+    def test_equality_filters_are_satisfiable(self, population_facet):
+        engine = QueryEngine(build_population_graph())
+        generator = WorkloadGenerator(
+            population_facet, engine,
+            WorkloadConfig(seed=0, filter_probability=1.0,
+                           range_filter_probability=0.0))
+        nonempty = 0
+        for query in generator.generate(20):
+            if all(c.op == "=" for c in query.filters) and query.group_mask:
+                table = engine.query(query.to_select_query())
+                nonempty += 1 if len(table) > 0 else 0
+        assert nonempty > 0
+
+    def test_no_filters_when_probability_zero(self, population_facet):
+        engine = QueryEngine(build_population_graph())
+        generator = WorkloadGenerator(
+            population_facet, engine,
+            WorkloadConfig(seed=0, filter_probability=0.0))
+        assert all(not q.filters for q in generator.generate(20))
+
+    def test_config_validation(self):
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(size=-1)
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(filter_probability=1.5)
+
+
+class TestTemplates:
+    def test_render_analytical_query_is_valid_sparql(self, generator):
+        from repro.sparql import parse_query
+        for query in generator.generate(5):
+            text = render_analytical_query(query)
+            parse_query(text)  # must not raise
+
+    def test_parameters_discovered_in_order(self):
+        t = QueryTemplate("t", "SELECT ?x WHERE { ?x $p $v . ?x $p ?y }")
+        assert t.parameters == ("p", "v")
+
+    def test_instantiate_substitutes_n3(self):
+        t = QueryTemplate("t", "SELECT ?x WHERE { ?x $p $v . }")
+        text = t.instantiate(p=EX.population, v=typed_literal(5))
+        assert EX.population.n3() in text
+        assert '"5"' in text
+
+    def test_missing_parameter_raises(self):
+        t = QueryTemplate("t", "SELECT ?x WHERE { ?x $p ?y . }")
+        with pytest.raises(WorkloadError) as err:
+            t.instantiate()
+        assert "p" in str(err.value)
+
+    def test_unexpected_parameter_raises(self):
+        t = QueryTemplate("t", "SELECT ?x WHERE { ?x ?p ?y . }")
+        with pytest.raises(WorkloadError):
+            t.instantiate(bogus=EX.a)
+
+    def test_prepare_executes(self, population_facet):
+        engine = QueryEngine(build_population_graph())
+        t = QueryTemplate("langpop", """
+            PREFIX ex: <http://example.org/>
+            SELECT (SUM(?pop) AS ?total) WHERE {
+              ?obs ex:ofCountry ?c ; ex:population ?pop .
+              ?c ex:language $lang .
+            }""")
+        prepared = t.prepare(lang=EX.french)
+        total = engine.query(prepared).python_value()
+        assert total > 0
