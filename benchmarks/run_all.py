@@ -1,0 +1,165 @@
+"""Benchmark entry point: write the machine-readable perf trajectory.
+
+Runs the engine benchmark suites (store microbenchmarks, join/aggregate
+queries, and the E5-style generated workload on all three demo datasets)
+through BOTH executors — the batched id-space pipeline and the retained
+tuple-at-a-time reference — and writes ``BENCH_engine.json`` at the repo
+root: per-suite median timings, dataset sizes, and speedup vs the seed
+baseline.  Every future perf PR appends its own before/after point by
+re-running this script.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py [--smoke] [--out PATH]
+
+``--smoke`` shrinks repetitions and scales for CI sanity runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.datasets import DBPediaConfig, generate_dbpedia, load_dataset
+from repro.sparql import QueryEngine, ReferenceExecutor, ResultTable
+from repro.workload import WorkloadConfig, WorkloadGenerator
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
+
+PREFIX = "PREFIX dbp: <http://dbpedia.org/ontology/>\n"
+
+JOIN_QUERY = PREFIX + """
+SELECT ?country ?pop WHERE {
+  ?obs dbp:ofCountry ?country ; dbp:year 2015 ; dbp:population ?pop .
+  ?country dbp:partOf ?continent .
+}
+"""
+
+AGG_QUERY = PREFIX + """
+SELECT ?continent (SUM(?pop) AS ?total) WHERE {
+  ?obs dbp:ofCountry ?country ; dbp:population ?pop .
+  ?country dbp:partOf ?continent .
+  ?continent a dbp:Continent .
+} GROUP BY ?continent
+"""
+
+
+def _median_seconds(fn, repetitions: int) -> float:
+    times = []
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def _run_pair(engine: QueryEngine, reference: ReferenceExecutor,
+              prepared_queries, repetitions: int) -> dict:
+    """Median end-to-end timings of one query list through both executors."""
+    def batched() -> None:
+        for prepared in prepared_queries:
+            engine.query(prepared)
+
+    def naive() -> None:
+        for prepared in prepared_queries:
+            ResultTable.from_bindings(prepared.ast.projected_variables(),
+                                      reference.run(prepared.plan))
+
+    # Parity guard: a benchmark over diverging engines measures nothing.
+    for prepared in prepared_queries:
+        got = engine.query(prepared)
+        want = ResultTable.from_bindings(prepared.ast.projected_variables(),
+                                         reference.run(prepared.plan))
+        if not got.same_solutions(want):
+            raise AssertionError(
+                f"executor divergence on benchmark query:\n{prepared.text}")
+
+    batched_s = _median_seconds(batched, repetitions)
+    reference_s = _median_seconds(naive, max(2, repetitions // 2))
+    return {
+        "queries": len(prepared_queries),
+        "batched_ms": round(batched_s * 1e3, 3),
+        "reference_ms": round(reference_s * 1e3, 3),
+        "speedup": round(reference_s / batched_s, 2),
+    }
+
+
+def run_suites(smoke: bool = False) -> dict:
+    repetitions = 3 if smoke else 9
+    suites: dict[str, dict] = {}
+
+    # E9 microbench pair: medium DBpedia, join + aggregation.  (Smoke keeps
+    # enough rows that the timings stay above measurement noise.)
+    countries = 80 if smoke else 120
+    years = tuple(range(2010, 2020)) if smoke else tuple(range(2000, 2020))
+    graph = generate_dbpedia(DBPediaConfig(countries=countries, years=years,
+                                           seed=9))
+    engine = QueryEngine(graph)
+    reference = ReferenceExecutor(graph)
+    for label, query in (("engine_join", JOIN_QUERY),
+                         ("engine_aggregate", AGG_QUERY)):
+        suite = _run_pair(engine, reference, [engine.prepare(query)],
+                          repetitions)
+        suite["dataset"] = {"name": "dbpedia-medium", "triples": len(graph)}
+        suites[label] = suite
+
+    # E5-style generated workloads over the three demo datasets.
+    scale = "tiny" if smoke else "small"
+    workload_size = 8 if smoke else 30
+    for name in ("dbpedia", "lubm", "swdf"):
+        ds = load_dataset(name, scale)
+        ds_engine = QueryEngine(ds.graph)
+        ds_reference = ReferenceExecutor(ds.graph)
+        generator = WorkloadGenerator(
+            ds.facet(), ds_engine, WorkloadConfig(size=workload_size, seed=7))
+        prepared = [ds_engine.prepare(q.to_select_query())
+                    for q in generator.generate()]
+        suite = _run_pair(ds_engine, ds_reference, prepared, repetitions)
+        suite["dataset"] = {"name": f"{name}-{scale}",
+                            "triples": len(ds.graph)}
+        suites[f"workload_{name}"] = suite
+
+    return suites
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast CI pass: smaller scales and repetitions")
+    parser.add_argument("--out", default=os.path.join(REPO_ROOT,
+                                                      "BENCH_engine.json"))
+    args = parser.parse_args(argv)
+
+    suites = run_suites(smoke=args.smoke)
+    speedups = [s["speedup"] for s in suites.values()]
+    payload = {
+        "benchmark": "engine",
+        "mode": "smoke" if args.smoke else "full",
+        "baseline": "seed tuple-at-a-time executor (ReferenceExecutor)",
+        "python": sys.version.split()[0],
+        "suites": suites,
+        "median_speedup": round(statistics.median(speedups), 2),
+        "min_speedup": round(min(speedups), 2),
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    width = max(len(k) for k in suites)
+    print(f"{'suite'.ljust(width)}  batched ms  reference ms  speedup")
+    for key, suite in suites.items():
+        print(f"{key.ljust(width)}  {suite['batched_ms']:>10.2f}  "
+              f"{suite['reference_ms']:>12.2f}  {suite['speedup']:>6.1f}x")
+    print(f"median speedup: {payload['median_speedup']:.1f}x "
+          f"(written to {os.path.relpath(args.out, REPO_ROOT)})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -56,9 +56,28 @@ class TermDictionary:
         """
         return self._by_term.get(term)
 
+    def encode_many(self, terms: Iterable[Term]) -> list[int]:
+        """Intern many terms at once; returns their ids in input order."""
+        by_term = self._by_term
+        by_id = self._by_id
+        out: list[int] = []
+        for term in terms:
+            tid = by_term.get(term)
+            if tid is None:
+                tid = len(by_id)
+                by_term[term] = tid
+                by_id.append(term)
+            out.append(tid)
+        return out
+
     def decode(self, tid: int) -> Term:
         """Return the term for ``tid``; raises ``IndexError`` for bad ids."""
         return self._by_id[tid]
+
+    def decode_many(self, tids: Iterable[int]) -> list[Term]:
+        """Return the terms for many ids in input order (bulk ``decode``)."""
+        by_id = self._by_id
+        return [by_id[tid] for tid in tids]
 
     def terms(self) -> Iterator[Term]:
         """Iterate over all interned terms in id order."""

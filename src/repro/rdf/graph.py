@@ -26,6 +26,11 @@ __all__ = ["Graph"]
 _Index = dict  # dict[int, dict[int, set[int]]]
 
 
+def _no_leaf(key: int):
+    """Leaf accessor for a constant the index has never seen."""
+    return None
+
+
 def _index_add(index: _Index, a: int, b: int, c: int) -> bool:
     level1 = index.get(a)
     if level1 is None:
@@ -69,7 +74,7 @@ class Graph:
     """
 
     __slots__ = ("_dict", "_spo", "_pos", "_osp", "_size", "_pred_counts",
-                 "_version")
+                 "_version", "_node_cache", "_hist_cache")
 
     def __init__(self, dictionary: TermDictionary | None = None,
                  triples: Iterable[Triple] | None = None) -> None:
@@ -80,6 +85,10 @@ class Graph:
         self._size = 0
         self._pred_counts: dict[int, int] = {}
         self._version = 0
+        # version-keyed caches of the whole-graph statistics the cost
+        # models probe repeatedly: (version, payload) tuples.
+        self._node_cache: dict[bool, tuple[int, set[int]]] = {}
+        self._hist_cache: Optional[tuple[int, dict[IRI, int]]] = None
         if triples is not None:
             for t in triples:
                 self.add(t)
@@ -147,10 +156,32 @@ class Graph:
 
     def update(self, triples: Iterable[Triple]) -> int:
         """Add many triples; returns the number actually inserted."""
+        validated = [Triple.validate(*t) for t in triples]
+        ids = self._dict.encode_many(
+            term for triple in validated for term in triple)
+        return self.add_ids_bulk(zip(ids[0::3], ids[1::3], ids[2::3]))
+
+    def add_ids_bulk(self, id_triples: Iterable[tuple[int, int, int]]) -> int:
+        """Insert many id-triples with a single version bump.
+
+        The id-native fast path for bulk loading and view materialization:
+        ids must come from this graph's dictionary.  Returns the number of
+        triples actually inserted (duplicates are skipped), and bumps the
+        version once iff anything was inserted.
+        """
+        spo, pos, osp = self._spo, self._pos, self._osp
+        pred_counts = self._pred_counts
         added = 0
-        for t in triples:
-            if self.add(t):
-                added += 1
+        for sid, pid, oid in id_triples:
+            if not _index_add(spo, sid, pid, oid):
+                continue
+            _index_add(pos, pid, oid, sid)
+            _index_add(osp, oid, sid, pid)
+            pred_counts[pid] = pred_counts.get(pid, 0) + 1
+            added += 1
+        if added:
+            self._size += added
+            self._version += 1
         return added
 
     def discard(self, triple: Triple) -> bool:
@@ -187,8 +218,7 @@ class Graph:
         """A triple-level copy, optionally re-encoded against ``dictionary``."""
         clone = Graph(dictionary if dictionary is not None else self._dict)
         if clone._dict is self._dict:
-            for sid, pid, oid in self._iter_ids():
-                clone._add_ids(sid, pid, oid)
+            clone.add_ids_bulk(self._iter_ids())
         else:
             for t in self.triples():
                 clone.add(t)
@@ -257,6 +287,73 @@ class Graph:
                     yield (s, p, oid)
             return
         yield from self._iter_ids()
+
+    _EMPTY_ADJACENCY: frozenset = frozenset()
+
+    def adjacent_ids(self, sid: Optional[int], pid: Optional[int],
+                     oid: Optional[int]):
+        """The set of ids filling the single ``None`` position.
+
+        This is the raw index leaf: the batched executor probes it once
+        per distinct bound prefix and the hash join intersects candidate
+        sets directly, with no per-triple tuple construction.  Exactly one
+        position must be ``None``.  The returned set is **live index
+        state** — callers must treat it as read-only.
+        """
+        if sid is None:
+            if pid is None or oid is None:
+                raise ValueError("adjacent_ids needs exactly one wildcard")
+            return self._pos.get(pid, {}).get(oid) or self._EMPTY_ADJACENCY
+        if pid is None:
+            if oid is None:
+                raise ValueError("adjacent_ids needs exactly one wildcard")
+            return self._osp.get(oid, {}).get(sid) or self._EMPTY_ADJACENCY
+        if oid is not None:
+            raise ValueError("adjacent_ids needs exactly one wildcard")
+        return self._spo.get(sid, {}).get(pid) or self._EMPTY_ADJACENCY
+
+    def pair_adjacency(self, key_pos: int, free_pos: int, const_id: int):
+        """A per-key leaf accessor for two-variable, one-constant patterns.
+
+        Returns ``get(key) -> set | None`` mapping the id at ``key_pos`` to
+        the live leaf set of ids at ``free_pos``, with ``const_id`` fixed at
+        the remaining position.  The batched executor hoists this out of
+        its probe loop so each distinct key costs one or two dict lookups
+        and no per-call position dispatch.  Leaf sets are live index state —
+        read-only for callers.
+        """
+        if key_pos == 0 and free_pos == 2:    # (key, const_p, ?) → SPO
+            spo_get = self._spo.get
+
+            def get_o(key: int, _p: int = const_id):
+                level = spo_get(key)
+                return level.get(_p) if level else None
+            return get_o
+        if key_pos == 2 and free_pos == 0:    # (?, const_p, key) → POS
+            level1 = self._pos.get(const_id)
+            return level1.get if level1 is not None else _no_leaf
+        if key_pos == 0 and free_pos == 1:    # (key, ?, const_o) → OSP
+            level1 = self._osp.get(const_id)
+            return level1.get if level1 is not None else _no_leaf
+        if key_pos == 1 and free_pos == 2:    # (const_s, key, ?) → SPO
+            level1 = self._spo.get(const_id)
+            return level1.get if level1 is not None else _no_leaf
+        if key_pos == 1 and free_pos == 0:    # (?, key, const_o) → POS
+            pos_get = self._pos.get
+
+            def get_s(key: int, _o: int = const_id):
+                level = pos_get(key)
+                return level.get(_o) if level else None
+            return get_s
+        if key_pos == 2 and free_pos == 1:    # (const_s, ?, key) → OSP
+            osp_get = self._osp.get
+
+            def get_p(key: int, _s: int = const_id):
+                level = osp_get(key)
+                return level.get(_s) if level else None
+            return get_p
+        raise ValueError(
+            f"invalid pair_adjacency positions ({key_pos}, {free_pos})")
 
     def count_ids(self, sid: Optional[int], pid: Optional[int],
                   oid: Optional[int]) -> int:
@@ -378,11 +475,19 @@ class Graph:
         This realizes the paper's node-count cost model
         ``C(V) = |I ∪ B ∪ L|``: the values appearing as graph nodes.
         Predicates are edge labels, not nodes, unless requested.
+
+        The result is cached per graph version (the lattice profiler
+        probes node counts repeatedly between mutations); callers must
+        treat the returned set as read-only.
         """
+        cached = self._node_cache.get(include_predicates)
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
         nodes = set(self._spo.keys())
         nodes.update(self._osp.keys())
         if include_predicates:
             nodes.update(self._pred_counts.keys())
+        self._node_cache[include_predicates] = (self._version, nodes)
         return nodes
 
     def node_count(self, include_predicates: bool = False) -> int:
@@ -395,8 +500,18 @@ class Graph:
             yield self._dict.decode(tid)
 
     def predicate_histogram(self) -> dict[IRI, int]:
-        """Triple count per predicate (feature input for the learned model)."""
-        return {self._dict.decode(pid): n for pid, n in self._pred_counts.items()}
+        """Triple count per predicate (feature input for the learned model).
+
+        Cached per graph version; a fresh dict is returned each call so
+        callers may mutate their copy freely.
+        """
+        cached = self._hist_cache
+        if cached is not None and cached[0] == self._version:
+            return dict(cached[1])
+        decode = self._dict.decode
+        histogram = {decode(pid): n for pid, n in self._pred_counts.items()}
+        self._hist_cache = (self._version, histogram)
+        return dict(histogram)
 
     def matches(self, pattern: TriplePattern) -> Iterator[dict[Variable, Term]]:
         """Bindings of ``pattern``'s variables against this graph.

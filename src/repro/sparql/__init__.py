@@ -1,20 +1,25 @@
 """A SPARQL SELECT engine for the analytical fragment.
 
 Pipeline: ``parse_query`` → :class:`SelectQuery` AST → ``translate_query``
-→ algebra → :class:`Executor` streams solutions → :class:`ResultTable`.
-Most callers only need :class:`QueryEngine`.
+→ algebra → :class:`Executor` pushes columnar id-space batches
+(:class:`BindingBatch`) → :class:`ResultTable`.  Most callers only need
+:class:`QueryEngine`.  :class:`ReferenceExecutor` is the retained
+tuple-at-a-time evaluator used as the parity/benchmark oracle.
 """
 
 from .algebra import translate_group, translate_query
 from .ast import AggregateExpr, Expression, GroupPattern, ProjectionItem, \
     SelectQuery
+from .batch import BindingBatch
 from .engine import PreparedQuery, QueryEngine
 from .executor import Executor
 from .parser import parse_query
+from .reference import ReferenceExecutor
 from .results import ResultTable
 
 __all__ = [
-    "AggregateExpr", "Executor", "Expression", "GroupPattern",
-    "PreparedQuery", "ProjectionItem", "QueryEngine", "ResultTable",
-    "SelectQuery", "parse_query", "translate_group", "translate_query",
+    "AggregateExpr", "BindingBatch", "Executor", "Expression",
+    "GroupPattern", "PreparedQuery", "ProjectionItem", "QueryEngine",
+    "ReferenceExecutor", "ResultTable", "SelectQuery", "parse_query",
+    "translate_group", "translate_query",
 ]

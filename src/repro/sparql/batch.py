@@ -1,0 +1,152 @@
+"""Columnar binding batches: the id-space data plane of the executor.
+
+A :class:`BindingBatch` is a set of solution rows stored column-wise over
+integer term ids (``None`` = unbound), plus a *provenance* array mapping
+every row back to the row of the seed batch it extends.  Provenance is what
+lets OPTIONAL detect unmatched seed rows and what lets a hash join fan a
+deduplicated probe result back out to the full outer relation.
+
+Ids come from the graph's :class:`~repro.rdf.dictionary.TermDictionary`;
+terms computed at query time (BIND results, aggregate values, VALUES
+constants never seen by the store) are interned by the executor into a
+private overlay with *negative* ids, so id equality remains term equality
+across the whole pipeline and nothing above the expression boundary ever
+compares strings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence
+
+from ..rdf.terms import Term, Variable
+
+__all__ = ["BindingBatch", "dedup_rows"]
+
+IdColumn = list  # list[Optional[int]]
+
+
+class BindingBatch:
+    """Columnar solution rows in id-space.
+
+    ``columns[k]`` holds the ids of ``variables[k]``, one per row; ``prov``
+    maps each row to the index of the seed-batch row it extends.  Batches
+    are value-immutable by convention: operators build fresh column lists
+    and may share them between batches, but never mutate them in place.
+    """
+
+    __slots__ = ("variables", "columns", "prov", "index")
+
+    def __init__(self, variables: tuple[Variable, ...],
+                 columns: Sequence[IdColumn], prov: list[int]) -> None:
+        self.variables = variables
+        self.columns = list(columns)
+        self.prov = prov
+        self.index: dict[Variable, int] = {
+            v: k for k, v in enumerate(variables)}
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def unit(cls) -> "BindingBatch":
+        """The single empty solution (the root seed)."""
+        return cls((), (), [0])
+
+    @classmethod
+    def empty(cls, variables: tuple[Variable, ...]) -> "BindingBatch":
+        """Zero rows over ``variables``."""
+        return cls(variables, [[] for _ in variables], [])
+
+    # -- basic protocol ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.prov)
+
+    def __repr__(self) -> str:
+        names = ", ".join(f"?{v.name}" for v in self.variables)
+        return f"<BindingBatch [{names}] with {len(self)} rows>"
+
+    def column(self, var: Variable) -> IdColumn:
+        return self.columns[self.index[var]]
+
+    # -- row views -----------------------------------------------------------
+
+    def row_tuples(self) -> list[tuple]:
+        """All rows as id tuples (positional, aligned to ``variables``)."""
+        if not self.columns:
+            return [()] * len(self)
+        return list(zip(*self.columns))
+
+    def key_tuples(self, variables: Iterable[Variable]) -> list[tuple]:
+        """Per-row id tuples restricted to ``variables`` (missing = None).
+
+        This is the join/grouping key extractor: every consumer that
+        groups, dedups, or hashes rows goes through here so key identity is
+        id identity everywhere.
+        """
+        cols = []
+        n = len(self)
+        for v in variables:
+            k = self.index.get(v)
+            cols.append(self.columns[k] if k is not None else [None] * n)
+        if not cols:
+            return [()] * n
+        return list(zip(*cols))
+
+    # -- derived batches -----------------------------------------------------
+
+    def renumbered(self) -> "BindingBatch":
+        """The same rows with identity provenance (a fresh seed scope)."""
+        return BindingBatch(self.variables, self.columns,
+                            list(range(len(self))))
+
+    def gather(self, row_indexes: Sequence[int]) -> "BindingBatch":
+        """A new batch holding ``rows[i] for i in row_indexes`` (dups ok)."""
+        prov = self.prov
+        return BindingBatch(
+            self.variables,
+            [[col[i] for i in row_indexes] for col in self.columns],
+            [prov[i] for i in row_indexes])
+
+    def decode_rows(self, decode: Callable[[int], Term],
+                    cache: Optional[dict[int, Term]] = None
+                    ) -> list[tuple[Optional[Term], ...]]:
+        """All rows as term tuples, decoding each distinct id once.
+
+        ``cache`` is the lazy decode cache; pass a shared dict to amortize
+        decoding across several batches of one query.
+        """
+        if cache is None:
+            cache = {}
+        decoded: list[IdColumn] = []
+        for col in self.columns:
+            out = []
+            for tid in col:
+                if tid is None:
+                    out.append(None)
+                else:
+                    term = cache.get(tid)
+                    if term is None:
+                        term = decode(tid)
+                        cache[tid] = term
+                    out.append(term)
+            decoded.append(out)
+        if not decoded:
+            return [()] * len(self)
+        return list(zip(*decoded))
+
+
+def dedup_rows(keys: Sequence[tuple]) -> tuple[dict[tuple, int], list[int]]:
+    """Assign each distinct key a dense index; return (key→index, per-row map).
+
+    The executor uses this to probe/evaluate once per *distinct* bound
+    prefix and hash-join the results back onto the full row set.
+    """
+    by_key: dict[tuple, int] = {}
+    row_map: list[int] = []
+    for key in keys:
+        j = by_key.get(key)
+        if j is None:
+            j = len(by_key)
+            by_key[key] = j
+        row_map.append(j)
+    return by_key, row_map

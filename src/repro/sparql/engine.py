@@ -3,7 +3,13 @@
 :class:`QueryEngine` binds a graph; :class:`PreparedQuery` carries the
 parsed AST plus translated algebra and can be executed repeatedly (the
 workload runner re-executes the same prepared queries across view
-configurations).  ``query()`` is the convenience one-shot.
+configurations).  ``query()`` is the convenience one-shot — and it caches
+its compilations by query text, so a workload replayed as raw strings
+still compiles each distinct query once.
+
+Execution goes through the batched id-space executor: the result batch is
+decoded column-wise straight into a :class:`ResultTable`, never building a
+per-row binding dict.
 """
 
 from __future__ import annotations
@@ -12,13 +18,18 @@ import time
 
 from ..rdf.graph import Graph
 from ..rdf.namespace import PrefixMap
+from ..rdf.terms import Variable
 from .algebra import AlgebraOp, translate_query
 from .ast import SelectQuery
+from .batch import BindingBatch
 from .executor import Executor
 from .parser import parse_query
 from .results import ResultTable
 
 __all__ = ["PreparedQuery", "QueryEngine"]
+
+#: How many distinct query texts the engine memoizes compilations for.
+_PREPARED_CACHE_LIMIT = 1024
 
 
 class PreparedQuery:
@@ -51,26 +62,66 @@ class QueryEngine:
         self._graph = graph
         self._prefixes = prefixes
         self._executor = Executor(graph)
+        self._prepared: dict[str, PreparedQuery] = {}
 
     @property
     def graph(self) -> Graph:
         return self._graph
 
+    @property
+    def executor(self) -> Executor:
+        """The engine's batched executor (id-space access for the views)."""
+        return self._executor
+
     def prepare(self, query: str | SelectQuery | PreparedQuery
                 ) -> PreparedQuery:
-        """Compile a query once for repeated execution."""
+        """Compile a query once for repeated execution.
+
+        String queries are memoized by text (bounded), so repeated one-shot
+        ``query()`` calls over a fixed workload skip parse + translation.
+        """
         if isinstance(query, PreparedQuery):
             return query
         if isinstance(query, SelectQuery):
             return PreparedQuery(query)
-        return PreparedQuery.compile(query, self._prefixes)
+        prepared = self._prepared.get(query)
+        if prepared is None:
+            prepared = PreparedQuery.compile(query, self._prefixes)
+            if len(self._prepared) >= _PREPARED_CACHE_LIMIT:
+                self._prepared.pop(next(iter(self._prepared)))
+            self._prepared[query] = prepared
+        return prepared
 
     def query(self, query: str | SelectQuery | PreparedQuery) -> ResultTable:
         """Parse (if needed) and execute, returning a materialized table."""
         prepared = self.prepare(query)
         variables = prepared.ast.projected_variables()
-        bindings = self._executor.run(prepared.plan)
-        return ResultTable.from_bindings(variables, bindings)
+        batch = self._executor.run_ids(prepared.plan)
+        return self._decode_table(variables, batch)
+
+    def query_ids(self, query: str | SelectQuery | PreparedQuery
+                  ) -> tuple[list[Variable], BindingBatch]:
+        """Execute and return the raw id-space result batch.
+
+        The id-native consumers (view materialization) use this to avoid
+        the decode→re-encode round trip; translate ids back through
+        ``engine.executor.decode_id``.
+        """
+        prepared = self.prepare(query)
+        variables = prepared.ast.projected_variables()
+        return variables, self._executor.run_ids(prepared.plan)
+
+    def _decode_table(self, variables: list[Variable],
+                      batch: BindingBatch) -> ResultTable:
+        if list(batch.variables) != variables:
+            # Defensive realignment; plans from translate_query always end
+            # in a ProjectOp matching the projection order.
+            n = len(batch)
+            columns = [batch.columns[batch.index[v]] if v in batch.index
+                       else [None] * n for v in variables]
+            batch = BindingBatch(tuple(variables), columns, batch.prov)
+        return ResultTable(variables,
+                           batch.decode_rows(self._executor.decode_id))
 
     def timed_query(self, query: str | SelectQuery | PreparedQuery
                     ) -> tuple[ResultTable, float]:

@@ -1,67 +1,176 @@
-"""The algebra executor: streams solution bindings over a graph.
+"""The algebra executor: batched, id-space evaluation over a graph.
 
-Solutions are dictionaries mapping :class:`Variable` to :class:`Term`.
-Basic graph patterns are evaluated as an id-level pipeline over the store's
-indexes (greedy selectivity ordering, bind-join seeding), so strings are
-never compared during joins; everything above the BGP layer works on
-decoded terms because expressions need literal values.
+The seed engine evaluated every operator tuple-at-a-time through recursive
+generators, copying a ``dict`` per extended binding and decoding ids back
+to terms at the BGP boundary — so joins, DISTINCT, and GROUP BY churned on
+decoded term objects.  This executor instead pushes *columnar batches of
+integer ids* (:class:`~repro.sparql.batch.BindingBatch`) through the whole
+algebra tree:
+
+* BGPs are evaluated as batched index probes: each triple pattern is
+  probed once per **distinct** bound prefix (not once per row) and the
+  matches are fanned back out with a hash join on the prefix;
+* Join/OPTIONAL evaluate their right side under a *deduplicated*
+  projection of the left batch onto the shared variables, then hash-join
+  the result back through the provenance array;
+* FILTER, BIND, ORDER BY keys, and aggregate operands are evaluated once
+  per distinct operand-id tuple; DISTINCT and GROUP BY keys never leave
+  id-space;
+* terms are decoded only at the expression/projection boundary, through a
+  lazy per-query decode cache.
+
+Terms produced by expressions (BIND values, aggregate results, VALUES
+constants unknown to the store) are interned into a private overlay with
+negative ids so id equality stays term equality end to end.
+
+Compiled id-space BGP plans (constant ids + greedy probe order) are cached
+per graph version, so re-running a prepared workload skips recompilation.
+
+The tuple-at-a-time semantics are preserved exactly; the retained
+:class:`~repro.sparql.reference.ReferenceExecutor` is the oracle the parity
+suite checks against, and the engine EXISTS is delegated to (EXISTS wants
+streaming early termination under a single concrete binding).
 """
 
 from __future__ import annotations
 
-from itertools import islice
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
 
 from ..errors import ExpressionError, QueryEvaluationError
 from ..rdf.graph import Graph
-from ..rdf.terms import Term, Variable
+from ..rdf.terms import Term, Variable, typed_literal
 from ..rdf.triples import TriplePattern
 from .aggregates import make_accumulator
 from .algebra import AlgebraOp, BGPOp, DistinctOp, ExtendOp, FilterOp, \
     GroupOp, JoinOp, LeftJoinOp, OrderByOp, ProjectOp, SliceOp, TableOp, \
     UnionOp, UnitOp, translate_group
-from .ast import GroupPattern
+from .ast import AggregateExpr, AndExpr, ArithExpr, CompareExpr, ExistsExpr, \
+    Expression, FuncCall, GroupPattern, InExpr, NegExpr, NotExpr, OrExpr, \
+    TermExpr, VarExpr
+from .batch import BindingBatch, dedup_rows
 from .expr import EvalContext, evaluate, evaluate_ebv
-from .values import order_key
+from .values import numeric_result, order_key, to_number
 
 __all__ = ["Executor"]
 
 Binding = dict[Variable, Term]
 
+#: Memo sentinel for "operand evaluation raised ExpressionError".
+_EVAL_ERROR = object()
+
 
 class Executor:
-    """Evaluates algebra trees against one graph."""
+    """Evaluates algebra trees against one graph, a batch at a time."""
 
     def __init__(self, graph: Graph) -> None:
         self._graph = graph
-        self._exists_cache: dict[int, AlgebraOp] = {}
+        self._dict = graph.dictionary
+        # Overlay interning for query-computed terms: ids -1, -2, ...
+        self._extra_by_term: dict[Term, int] = {}
+        self._extra_by_id: list[Term] = []
+        # Compiled id-space BGP plans, invalidated on graph mutation.
+        self._bgp_cache: dict[tuple, object] = {}
+        self._bgp_cache_version = -1
+        # id → numeric value / order key, stable for the executor's
+        # lifetime (ids are append-only in both dictionary and overlay).
+        self._num_cache: dict[int, object] = {}
+        self._okey_cache: dict[int, tuple] = {}
+        # EXISTS: compiled per group pattern (keyed on the frozen group
+        # itself — the strong reference rules out id-reuse staleness) and
+        # evaluated by the streaming reference executor for early exit.
+        self._exists_cache: dict[GroupPattern, AlgebraOp] = {}
+        self._reference = None
         self._ctx = EvalContext(exists=self._exists)
+
+    # -- term ↔ id bridging ---------------------------------------------------
+
+    def encode_term(self, term: Term) -> int:
+        """The id of ``term``: its dictionary id, or a negative overlay id."""
+        tid = self._dict.lookup(term)
+        if tid is not None:
+            return tid
+        tid = self._extra_by_term.get(term)
+        if tid is None:
+            self._extra_by_id.append(term)
+            tid = -len(self._extra_by_id)
+            self._extra_by_term[term] = tid
+        return tid
+
+    def decode_id(self, tid: int) -> Term:
+        """The term for an id from either the dictionary or the overlay."""
+        if tid >= 0:
+            return self._dict.decode(tid)
+        return self._extra_by_id[-tid - 1]
+
+    # -- public API -----------------------------------------------------------
 
     def run(self, op: AlgebraOp, seed: Binding | None = None
             ) -> Iterator[Binding]:
-        """Stream the solutions of ``op``, optionally under a seed binding."""
-        return self._eval(op, dict(seed) if seed else {})
+        """Stream the solutions of ``op``, optionally under a seed binding.
+
+        Kept for API compatibility with the seed engine: the batch is
+        materialized first, then decoded row by row (unbound variables are
+        absent from the yielded dicts, as before).
+        """
+        batch = self.run_ids(op, seed)
+        variables = batch.variables
+        decode = self.decode_id
+        cache: dict[int, Term] = {}
+
+        def rows() -> Iterator[Binding]:
+            columns = batch.columns
+            for i in range(len(batch)):
+                out: Binding = {}
+                for var, col in zip(variables, columns):
+                    tid = col[i]
+                    if tid is None:
+                        continue
+                    term = cache.get(tid)
+                    if term is None:
+                        term = decode(tid)
+                        cache[tid] = term
+                    out[var] = term
+                yield out
+
+        return rows()
+
+    def run_ids(self, op: AlgebraOp, seed: Binding | None = None
+                ) -> BindingBatch:
+        """Evaluate ``op`` and return the raw id-space result batch."""
+        return self._eval(op, self._seed_batch(seed))
+
+    def _seed_batch(self, seed: Binding | None) -> BindingBatch:
+        if not seed:
+            return BindingBatch.unit()
+        variables = tuple(seed)
+        columns = [[self.encode_term(seed[v])] for v in variables]
+        return BindingBatch(variables, columns, [0])
 
     def _exists(self, group: GroupPattern, binding: Binding) -> bool:
-        op = self._exists_cache.get(id(group))
+        op = self._exists_cache.get(group)
         if op is None:
             op = translate_group(group)
-            self._exists_cache[id(group)] = op
-        for _ in self._eval(op, binding):
+            self._exists_cache[group] = op
+        if self._reference is None:
+            from .reference import ReferenceExecutor
+            self._reference = ReferenceExecutor(self._graph)
+        for _ in self._reference.run(op, binding):
             return True
         return False
 
     # -- dispatch ------------------------------------------------------------
 
-    def _eval(self, op: AlgebraOp, seed: Binding) -> Iterator[Binding]:
+    def _eval(self, op: AlgebraOp, seed: BindingBatch) -> BindingBatch:
         if isinstance(op, UnitOp):
-            return iter([dict(seed)])
+            return seed.renumbered()
         if isinstance(op, BGPOp):
             return self._eval_bgp(op.patterns, seed)
         if isinstance(op, JoinOp):
-            return self._eval_join(op, seed)
+            left = self._eval(op.left, seed)
+            return self._bind_right(op.right, left, outer=False)
         if isinstance(op, LeftJoinOp):
-            return self._eval_leftjoin(op, seed)
+            left = self._eval(op.left, seed)
+            return self._bind_right(op.right, left, outer=True)
         if isinstance(op, FilterOp):
             return self._eval_filter(op, seed)
         if isinstance(op, UnionOp):
@@ -79,121 +188,79 @@ class Executor:
         if isinstance(op, OrderByOp):
             return self._eval_orderby(op, seed)
         if isinstance(op, SliceOp):
-            return islice(self._eval(op.child, seed),
-                          op.offset,
-                          None if op.limit is None else op.offset + op.limit)
+            child = self._eval(op.child, seed)
+            stop = None if op.limit is None else op.offset + op.limit
+            return child.gather(range(len(child))[op.offset:stop])
         raise QueryEvaluationError(f"unknown operator {type(op).__name__}")
 
     # -- basic graph patterns -------------------------------------------------
 
-    def _eval_bgp(self, patterns: tuple[TriplePattern, ...], seed: Binding
-                  ) -> Iterator[Binding]:
+    def _compiled_bgp(self, patterns: tuple[TriplePattern, ...],
+                      seed_vars: tuple[Variable, ...]):
+        """The cached id-space plan for ``patterns`` under ``seed_vars``.
+
+        Returns ``(specs, order)`` or ``None`` when a constant term is not
+        in the dictionary (the BGP can match nothing).  Cache entries are
+        keyed on the pattern tuple plus the seed-variable overlap and are
+        dropped wholesale when the graph version moves.
+        """
         graph = self._graph
-        dictionary = graph.dictionary
-        if not patterns:
-            yield dict(seed)
-            return
+        if graph.version != self._bgp_cache_version:
+            self._bgp_cache.clear()
+            self._bgp_cache_version = graph.version
 
         pattern_vars: set[Variable] = set()
         for p in patterns:
             pattern_vars.update(p.variables())
+        key = (patterns, frozenset(v for v in seed_vars if v in pattern_vars))
+        if key in self._bgp_cache:
+            return self._bgp_cache[key]
 
-        # Seed variables that occur in the patterns become constants; a seed
-        # term missing from the dictionary cannot match anything.
-        id_seed: dict[Variable, int] = {}
-        for var, term in seed.items():
-            if var in pattern_vars:
-                tid = dictionary.lookup(term)
-                if tid is None:
-                    return
-                id_seed[var] = tid
-
-        # Compile each pattern into id-space: ('c', id) or ('v', var) per
-        # position.  An unseen constant term means zero matches.
-        compiled: list[list[tuple[str, object]]] = []
+        dictionary = self._dict
+        compiled: Optional[tuple] = None
+        specs: list[list[tuple[str, object]]] = []
+        possible = True
         for p in patterns:
             spec: list[tuple[str, object]] = []
             for position in p:
                 if isinstance(position, Variable):
-                    if position in id_seed:
-                        spec.append(("c", id_seed[position]))
-                    else:
-                        spec.append(("v", position))
+                    spec.append(("v", position))
                 else:
                     tid = dictionary.lookup(position)
                     if tid is None:
-                        return
-                    spec.append(("c", tid))
-            compiled.append(spec)
-
-        order = self._plan_order(compiled)
-
-        decode = dictionary.decode
-        match_ids = graph.match_ids
-        n = len(order)
-
-        def step(index: int, bound: dict[Variable, int]) -> Iterator[Binding]:
-            if index == n:
-                result = dict(seed)
-                for var, tid in bound.items():
-                    result[var] = decode(tid)
-                yield result
-                return
-            spec = compiled[order[index]]
-            lookup: list[Optional[int]] = []
-            var_positions: list[tuple[int, Variable]] = []
-            for pos, (kind, payload) in enumerate(spec):
-                if kind == "c":
-                    lookup.append(payload)  # type: ignore[arg-type]
-                else:
-                    var = payload
-                    assert isinstance(var, Variable)
-                    tid = bound.get(var)
-                    lookup.append(tid)
-                    if tid is None:
-                        var_positions.append((pos, var))
-            for ids in match_ids(lookup[0], lookup[1], lookup[2]):
-                extended = bound
-                fresh = False
-                consistent = True
-                for pos, var in var_positions:
-                    tid = ids[pos]
-                    existing = extended.get(var)
-                    if existing is None:
-                        if not fresh:
-                            extended = dict(extended)
-                            fresh = True
-                        extended[var] = tid
-                    elif existing != tid:
-                        consistent = False
+                        possible = False
                         break
-                if consistent:
-                    yield from step(index + 1, extended)
+                    spec.append(("c", tid))
+            if not possible:
+                break
+            specs.append(spec)
+        if possible:
+            compiled = (specs, self._plan_order(specs, key[1]))
+        self._bgp_cache[key] = compiled
+        return compiled
 
-        yield from step(0, {})
-
-    def _plan_order(self, compiled: list[list[tuple[str, object]]]
-                    ) -> list[int]:
+    def _plan_order(self, specs: list[list[tuple[str, object]]],
+                    seed_vars: frozenset[Variable]) -> list[int]:
         """Greedy selectivity ordering of BGP patterns.
 
         The base estimate is the exact count of the pattern's constant
-        skeleton; each position that will already be variable-bound when the
-        pattern runs divides the estimate (bound joins are selective).
+        skeleton; each position whose variable will already be bound when
+        the pattern runs (from the seed batch or an earlier pattern)
+        divides the estimate — bound joins are selective.
         """
         graph = self._graph
         base: list[int] = []
-        for spec in compiled:
-            ids = [payload if kind == "c" else None
-                   for kind, payload in spec]
+        for spec in specs:
+            ids = [payload if kind == "c" else None for kind, payload in spec]
             base.append(graph.count_ids(*ids))  # type: ignore[arg-type]
 
-        remaining = list(range(len(compiled)))
-        bound_vars: set[Variable] = set()
+        remaining = list(range(len(specs)))
+        bound_vars: set[Variable] = set(seed_vars)
         order: list[int] = []
         while remaining:
             def score(i: int) -> float:
                 estimate = float(base[i])
-                for kind, payload in compiled[i]:
+                for kind, payload in specs[i]:
                     if kind == "v" and payload in bound_vars:
                         estimate /= 20.0
                 return estimate
@@ -201,137 +268,797 @@ class Executor:
             best = min(remaining, key=score)
             order.append(best)
             remaining.remove(best)
-            for kind, payload in compiled[best]:
+            for kind, payload in specs[best]:
                 if kind == "v":
-                    assert isinstance(payload, Variable)
-                    bound_vars.add(payload)
+                    bound_vars.add(payload)  # type: ignore[arg-type]
         return order
+
+    def _eval_bgp(self, patterns: tuple[TriplePattern, ...],
+                  seed: BindingBatch) -> BindingBatch:
+        if not patterns:
+            return seed.renumbered()
+        compiled = self._compiled_bgp(patterns, seed.variables)
+        cur = seed.renumbered()
+        if compiled is None:
+            return BindingBatch.empty(cur.variables)
+        specs, order = compiled
+        for i in order:
+            cur = self._probe(cur, specs[i])
+        return cur
+
+    def _probe(self, cur: BindingBatch,
+               spec: list[tuple[str, object]]) -> BindingBatch:
+        """Extend every row of ``cur`` with the matches of one pattern.
+
+        The pattern is probed once per *distinct* probe key (the row's
+        current ids for the pattern's bound variables, ``None`` acting as
+        a wildcard), and match ids are fanned back across the rows that
+        share the key — a hash join between the batch and the index.
+        Bound columns pass through untouched; only newly-bound (or
+        partially-unbound) variables get columns built in the loop.
+        """
+        graph = self._graph
+        n = len(cur)
+        index = cur.index
+        cols = cur.columns
+
+        # Classify positions: constant id, bound-variable column, free var.
+        const_ids: list[Optional[int]] = [None, None, None]
+        pos_vars: list[Optional[Variable]] = [None, None, None]
+        bound_cols: list[Optional[list]] = [None, None, None]
+        for k, (kind, payload) in enumerate(spec):
+            if kind == "c":
+                const_ids[k] = payload  # type: ignore[assignment]
+            else:
+                pos_vars[k] = payload  # type: ignore[assignment]
+                ci = index.get(payload)  # type: ignore[arg-type]
+                if ci is not None:
+                    bound_cols[k] = cols[ci]
+
+        # Variables whose output column must be (re)built: new variables,
+        # plus bound ones whose column has unbound holes (OPTIONAL
+        # upstream).  Fully-bound columns pass through by gather/sharing.
+        rebuild_vars: list[Variable] = []
+        rebuild_ord: dict[Variable, int] = {}
+        rebuild_first_pos: list[int] = []
+        for k in (0, 1, 2):
+            var = pos_vars[k]
+            if var is None or var in rebuild_ord:
+                continue
+            col = bound_cols[k]
+            if col is None or None in col:
+                rebuild_ord[var] = len(rebuild_vars)
+                rebuild_vars.append(var)
+                rebuild_first_pos.append(k)
+        pos_ord: list[Optional[int]] = [
+            rebuild_ord.get(pos_vars[k]) if pos_vars[k] is not None else None
+            for k in (0, 1, 2)]
+        rebuild_cols: list[list] = [[] for _ in rebuild_vars]
+        n_rebuild = len(rebuild_vars)
+
+        # Group rows by the values of the bound positions only — the
+        # constants are shared by every row and stay out of the hash key.
+        bound_positions = [k for k in (0, 1, 2) if bound_cols[k] is not None]
+        groups: dict = {}
+        if not bound_positions:
+            groups[None] = range(n) if n else []
+        elif len(bound_positions) == 1:
+            for i, key in enumerate(bound_cols[bound_positions[0]]):
+                group = groups.get(key)
+                if group is None:
+                    groups[key] = [i]
+                else:
+                    group.append(i)
+        else:
+            for i, key in enumerate(zip(
+                    *(bound_cols[k] for k in bound_positions))):
+                group = groups.get(key)
+                if group is None:
+                    groups[key] = [i]
+                else:
+                    group.append(i)
+
+        out_index: list[int] = []
+
+        # Fast path — one clean bound column, one constant, one fresh
+        # variable: each group is a single hoisted index-leaf lookup.
+        const_positions = [k for k in (0, 1, 2) if const_ids[k] is not None]
+        if (len(bound_positions) == 1 and len(const_positions) == 1
+                and n_rebuild == 1
+                and pos_ord[bound_positions[0]] is None):
+            bpos = bound_positions[0]
+            fpos = rebuild_first_pos[0]
+            leaf = graph.pair_adjacency(bpos, fpos,
+                                        const_ids[const_positions[0]])
+            free_col = rebuild_cols[0]
+            for key, rows in groups.items():
+                values = leaf(key)
+                if not values:
+                    continue
+                values = list(values)
+                m = len(values)
+                if m == 1:
+                    out_index.extend(rows)
+                    free_col.extend(values * len(rows))
+                else:
+                    for r in rows:
+                        out_index.extend([r] * m)
+                    free_col.extend(values * len(rows))
+        else:
+            out_index = self._probe_general(
+                graph, groups, const_ids, pos_vars, bound_positions,
+                pos_ord, rebuild_first_pos, rebuild_cols)
+
+        # Assemble: rebuilt columns were made in the loop; every other
+        # column (and provenance) is gathered through out_index — unless
+        # the probe kept every row in place (the common one-match-per-row
+        # case), where untouched columns are simply shared.
+        identity = len(out_index) == n and out_index == list(range(n))
+        out_vars = list(cur.variables)
+        out_cols: list[list] = []
+        for var in cur.variables:
+            ordinal = rebuild_ord.get(var)
+            if ordinal is not None:
+                out_cols.append(rebuild_cols[ordinal])
+            elif identity:
+                out_cols.append(cols[index[var]])
+            else:
+                col = cols[index[var]]
+                out_cols.append([col[i] for i in out_index])
+        for ordinal, var in enumerate(rebuild_vars):
+            if var not in index:
+                out_vars.append(var)
+                out_cols.append(rebuild_cols[ordinal])
+        prov = cur.prov
+        return BindingBatch(tuple(out_vars), out_cols,
+                            prov if identity else [prov[i] for i in out_index])
+
+    def _probe_general(self, graph: Graph, groups: dict,
+                       const_ids: list[Optional[int]],
+                       pos_vars: list[Optional[Variable]],
+                       bound_positions: list[int],
+                       pos_ord: list[Optional[int]],
+                       rebuild_first_pos: list[int],
+                       rebuild_cols: list[list]) -> list[int]:
+        """The general probe loop: any mix of wildcards per group."""
+        out_index: list[int] = []
+        n_rebuild = len(rebuild_cols)
+        match_ids = graph.match_ids
+        adjacent_ids = graph.adjacent_ids
+        count_ids = graph.count_ids
+        single_bound = len(bound_positions) == 1
+
+        for group_key, rows in groups.items():
+            probe: list[Optional[int]] = list(const_ids)
+            if single_bound:
+                probe[bound_positions[0]] = group_key
+            elif bound_positions:
+                for k, value in zip(bound_positions, group_key):
+                    probe[k] = value
+            free = [k for k in (0, 1, 2)
+                    if probe[k] is None and pos_vars[k] is not None]
+            nrows = len(rows)
+
+            if not free:
+                # Fully bound: a pure existence probe.
+                if not count_ids(probe[0], probe[1], probe[2]):
+                    continue
+                out_index.extend(rows)
+                for ordinal in range(n_rebuild):
+                    rebuild_cols[ordinal].extend(
+                        [probe[rebuild_first_pos[ordinal]]] * nrows)
+                continue
+
+            if len(free) == 1:
+                # One wildcard: the index leaf set *is* the match list.
+                values = adjacent_ids(probe[0], probe[1], probe[2])
+                if not values:
+                    continue
+                values = list(values)
+                m = len(values)
+                for r in rows:
+                    out_index.extend([r] * m)
+                filled = pos_ord[free[0]]
+                rebuild_cols[filled].extend(values * nrows)  # type: ignore
+                for ordinal in range(n_rebuild):
+                    if ordinal != filled:
+                        rebuild_cols[ordinal].extend(
+                            [probe[rebuild_first_pos[ordinal]]] * (nrows * m))
+                continue
+
+            # Two or three wildcards: walk the index, keeping repeated-
+            # variable positions consistent.
+            free_vars = [pos_vars[k] for k in free]
+            duplicated = len(set(free_vars)) != len(free_vars)
+            collected: list[list[int]] = [[] for _ in free]
+            for ids in match_ids(probe[0], probe[1], probe[2]):
+                if duplicated:
+                    seen: dict[Variable, int] = {}
+                    ok = True
+                    for k in free:
+                        var = pos_vars[k]
+                        prev = seen.get(var)  # type: ignore[arg-type]
+                        if prev is None:
+                            seen[var] = ids[k]  # type: ignore[index]
+                        elif prev != ids[k]:
+                            ok = False
+                            break
+                    if not ok:
+                        continue
+                for j, k in enumerate(free):
+                    collected[j].append(ids[k])
+            m = len(collected[0])
+            if not m:
+                continue
+            for r in rows:
+                out_index.extend([r] * m)
+            filled_ords: set[int] = set()
+            for j, k in enumerate(free):
+                ordinal = pos_ord[k]
+                if ordinal in filled_ords:  # repeated free var: one column
+                    continue
+                filled_ords.add(ordinal)  # type: ignore[arg-type]
+                rebuild_cols[ordinal].extend(collected[j] * nrows)  # type: ignore
+            for ordinal in range(n_rebuild):
+                if ordinal not in filled_ords:
+                    rebuild_cols[ordinal].extend(
+                        [probe[rebuild_first_pos[ordinal]]] * (nrows * m))
+        return out_index
 
     # -- joins -----------------------------------------------------------------
 
-    def _eval_join(self, op: JoinOp, seed: Binding) -> Iterator[Binding]:
-        for left in self._eval(op.left, seed):
-            yield from self._eval(op.right, left)
+    def _bind_right(self, right_op: AlgebraOp, left: BindingBatch,
+                    outer: bool) -> BindingBatch:
+        """Join ``left`` with ``right_op`` (outer = OPTIONAL semantics).
 
-    def _eval_leftjoin(self, op: LeftJoinOp, seed: Binding
-                       ) -> Iterator[Binding]:
-        for left in self._eval(op.left, seed):
-            matched = False
-            for merged in self._eval(op.right, left):
-                matched = True
-                yield merged
-            if not matched:
-                yield left
+        The right side is evaluated under the *deduplicated* projection of
+        the left batch onto the variables the right side can observe, then
+        hash-joined back onto the full left batch via provenance — the
+        right subtree runs once per distinct shared-variable combination
+        instead of once per left row.
+        """
+        mentioned = _op_variables(right_op)
+        if mentioned is None:
+            shared = left.variables
+        else:
+            shared = tuple(v for v in left.variables if v in mentioned)
 
-    def _eval_union(self, op: UnionOp, seed: Binding) -> Iterator[Binding]:
-        for branch in op.branches:
-            yield from self._eval(branch, seed)
+        keys = left.key_tuples(shared)
+        by_key, row_map = dedup_rows(keys)
+        seed_cols: list[list] = [[] for _ in shared]
+        for key in by_key:
+            for col, value in zip(seed_cols, key):
+                col.append(value)
+        sub_seed = BindingBatch(shared, seed_cols,
+                                list(range(len(by_key))))
+        right = self._eval(right_op, sub_seed)
 
-    def _eval_table(self, op: TableOp, seed: Binding) -> Iterator[Binding]:
-        for row in op.rows:
-            merged = dict(seed)
-            compatible = True
-            for var, term in zip(op.variables, row):
-                if term is None:  # UNDEF leaves the variable as-is
+        matches: dict[int, list[int]] = {}
+        for j, s in enumerate(right.prov):
+            bucket = matches.get(s)
+            if bucket is None:
+                matches[s] = [j]
+            else:
+                bucket.append(j)
+
+        left_set = left.index
+        right_only = tuple(v for v in right.variables if v not in left_set)
+        out_left: list[int] = []
+        out_right: list[Optional[int]] = []  # None = unmatched outer row
+        for i in range(len(left)):
+            bucket = matches.get(row_map[i])
+            if bucket:
+                for j in bucket:
+                    out_left.append(i)
+                    out_right.append(j)
+            elif outer:
+                out_left.append(i)
+                out_right.append(None)
+
+        out_vars = left.variables + right_only
+        out_cols: list[list] = []
+        right_index = right.index
+        for var in left.variables:
+            lcol = left.columns[left_set[var]]
+            k = right_index.get(var)
+            if k is None:
+                out_cols.append([lcol[i] for i in out_left])
+            else:
+                # A shared variable may be unbound on the left (OPTIONAL
+                # upstream) and bound by the right side.
+                rcol = right.columns[k]
+                out_cols.append([
+                    lcol[i] if lcol[i] is not None or j is None else rcol[j]
+                    for i, j in zip(out_left, out_right)])
+        for var in right_only:
+            rcol = right.columns[right_index[var]]
+            out_cols.append([None if j is None else rcol[j]
+                             for j in out_right])
+        prov = left.prov
+        return BindingBatch(out_vars, out_cols, [prov[i] for i in out_left])
+
+    def _eval_union(self, op: UnionOp, seed: BindingBatch) -> BindingBatch:
+        branches = [self._eval(b, seed) for b in op.branches]
+        out_vars: list[Variable] = []
+        seen: set[Variable] = set()
+        for b in branches:
+            for v in b.variables:
+                if v not in seen:
+                    seen.add(v)
+                    out_vars.append(v)
+        out_cols: list[list] = [[] for _ in out_vars]
+        prov: list[int] = []
+        for b in branches:
+            n = len(b)
+            for col, var in zip(out_cols, out_vars):
+                k = b.index.get(var)
+                if k is None:
+                    col.extend([None] * n)
+                else:
+                    col.extend(b.columns[k])
+            prov.extend(b.prov)
+        return BindingBatch(tuple(out_vars), out_cols, prov)
+
+    def _eval_table(self, op: TableOp, seed: BindingBatch) -> BindingBatch:
+        encode = self.encode_term
+        enc_rows = [tuple(None if t is None else encode(t) for t in row)
+                    for row in op.rows]
+        tvars = op.variables
+        new_vars = tuple(v for v in tvars if v not in seed.index)
+        out_vars = seed.variables + new_vars
+        shared = [(k, seed.index[v]) for k, v in enumerate(tvars)
+                  if v in seed.index]
+
+        out_index: list[int] = []
+        merged_rows: list[tuple] = []
+        seed_cols = seed.columns
+        for i in range(len(seed)):
+            for row in enc_rows:
+                compatible = True
+                for tpos, spos in shared:
+                    tv = row[tpos]
+                    if tv is None:
+                        continue
+                    sv = seed_cols[spos][i]
+                    if sv is not None and sv != tv:
+                        compatible = False
+                        break
+                if compatible:
+                    out_index.append(i)
+                    merged_rows.append(row)
+
+        out_cols: list[list] = []
+        for var in seed.variables:
+            col = seed_cols[seed.index[var]]
+            if var in tvars:
+                tpos = tvars.index(var)
+                out_cols.append([
+                    col[i] if row[tpos] is None or col[i] is not None
+                    else row[tpos]
+                    for i, row in zip(out_index, merged_rows)])
+            else:
+                out_cols.append([col[i] for i in out_index])
+        for var in new_vars:
+            tpos = tvars.index(var)
+            out_cols.append([row[tpos] for row in merged_rows])
+        prov = seed.prov
+        return BindingBatch(out_vars, out_cols, [prov[i] for i in out_index])
+
+    # -- expression evaluation over batches -----------------------------------
+
+    def _per_row_eval(self, batch: BindingBatch,
+                      needed: tuple[Variable, ...],
+                      fn: Callable[[Binding], object]) -> list:
+        """``fn`` applied to each row's (partial) binding, memoized per
+        distinct id tuple — the expression analogue of the batched probe."""
+        present = [v for v in needed if v in batch.index]
+        decode = self.decode_id
+        term_cache: dict[int, Term] = {}
+
+        def binding_for(key: tuple) -> Binding:
+            out: Binding = {}
+            for var, tid in zip(present, key):
+                if tid is None:
                     continue
-                existing = merged.get(var)
-                if existing is None:
-                    merged[var] = term
-                elif existing != term:
-                    compatible = False
-                    break
-            if compatible:
-                yield merged
+                term = term_cache.get(tid)
+                if term is None:
+                    term = decode(tid)
+                    term_cache[tid] = term
+                out[var] = term
+            return out
 
-    # -- filters, extends ---------------------------------------------------------
+        if not present:
+            value = fn({})
+            return [value] * len(batch)
+        cols = [batch.columns[batch.index[v]] for v in present]
+        memo: dict = {}
+        out_values = []
+        if len(cols) == 1:
+            for tid in cols[0]:
+                if tid in memo:
+                    out_values.append(memo[tid])
+                else:
+                    value = fn(binding_for((tid,)))
+                    memo[tid] = value
+                    out_values.append(value)
+            return out_values
+        for key in zip(*cols):
+            if key in memo:
+                out_values.append(memo[key])
+            else:
+                value = fn(binding_for(key))
+                memo[key] = value
+                out_values.append(value)
+        return out_values
 
-    def _eval_filter(self, op: FilterOp, seed: Binding) -> Iterator[Binding]:
-        for binding in self._eval(op.child, seed):
-            if evaluate_ebv(op.expression, binding, self._ctx):
-                yield binding
+    def _needed_vars(self, batch: BindingBatch,
+                     expr: Expression) -> tuple[Variable, ...]:
+        """The batch variables an expression evaluation can observe.
 
-    def _eval_extend(self, op: ExtendOp, seed: Binding) -> Iterator[Binding]:
-        for binding in self._eval(op.child, seed):
-            if op.var in binding:
-                raise QueryEvaluationError(
-                    f"BIND would rebind already-bound variable ?{op.var.name}")
-            try:
-                value = evaluate(op.expression, binding, self._ctx)
-            except ExpressionError:
-                value = None
-            if value is not None:
-                binding = dict(binding)
-                binding[op.var] = value
-            yield binding
+        EXISTS sub-groups may reference any outer variable (including some
+        its ``variables()`` summary misses, e.g. filter-only mentions), so
+        their presence widens the slice to the whole row.
+        """
+        if _mentions_exists(expr):
+            return batch.variables
+        evars = expr.variables()
+        return tuple(v for v in batch.variables if v in evars)
 
-    # -- grouping -------------------------------------------------------------------
+    def _eval_filter(self, op: FilterOp, seed: BindingBatch) -> BindingBatch:
+        child = self._eval(op.child, seed)
+        expr = op.expression
+        ctx = self._ctx
+        flags = self._per_row_eval(
+            child, self._needed_vars(child, expr),
+            lambda binding: evaluate_ebv(expr, binding, ctx))
+        keep = [i for i, flag in enumerate(flags) if flag]
+        if len(keep) == len(child):
+            return child
+        return child.gather(keep)
 
-    def _eval_groupby(self, op: GroupOp, seed: Binding) -> Iterator[Binding]:
-        groups: dict[tuple, list[Binding]] = {}
-        for binding in self._eval(op.child, seed):
-            key = tuple(binding.get(k) for k in op.keys)
-            groups.setdefault(key, []).append(binding)
+    def _eval_extend(self, op: ExtendOp, seed: BindingBatch) -> BindingBatch:
+        child = self._eval(op.child, seed)
+        k = child.index.get(op.var)
+        if k is not None and any(v is not None for v in child.columns[k]):
+            raise QueryEvaluationError(
+                f"BIND would rebind already-bound variable ?{op.var.name}")
+        expr = op.expression
+        ctx = self._ctx
+        encode = self.encode_term
 
+        if isinstance(expr, VarExpr):
+            # BIND(?x AS ?y): the column is the value (common for the
+            # internal aggregate variables the translator introduces).
+            src = child.index.get(expr.var)
+            new_col = list(child.columns[src]) if src is not None \
+                else [None] * len(child)
+        elif isinstance(expr, TermExpr):
+            tid = encode(expr.term)
+            new_col = [tid] * len(child)
+        else:
+            def compute(binding: Binding) -> Optional[int]:
+                try:
+                    value = evaluate(expr, binding, ctx)
+                except ExpressionError:
+                    return None
+                return None if value is None else encode(value)
+
+            new_col = self._per_row_eval(
+                child, self._needed_vars(child, expr), compute)
+        if k is not None:
+            columns = list(child.columns)
+            columns[k] = new_col
+            return BindingBatch(child.variables, columns, child.prov)
+        return BindingBatch(child.variables + (op.var,),
+                            child.columns + [new_col], child.prov)
+
+    # -- grouping -------------------------------------------------------------
+
+    def _eval_groupby(self, op: GroupOp, seed: BindingBatch) -> BindingBatch:
+        child = self._eval(op.child, seed)
+        n = len(child)
+        single_key = len(op.keys) == 1
+        if single_key:
+            k = child.index.get(op.keys[0])
+            keys = child.columns[k] if k is not None else [None] * n
+        else:
+            keys = child.key_tuples(op.keys)
+        groups: dict = {}
+        for i, key in enumerate(keys):
+            bucket = groups.get(key)
+            if bucket is None:
+                groups[key] = [i]
+            else:
+                bucket.append(i)
         if not groups and not op.keys:
             groups[()] = []  # implicit single group over empty input
 
-        for key, members in groups.items():
-            accumulators = []
-            for var, agg in op.aggregates:
-                accumulators.append((var, agg, make_accumulator(
-                    agg.name, agg.distinct, agg.separator,
-                    count_star=agg.operand is None)))
-            for member in members:
-                for var, agg, acc in accumulators:
-                    if agg.operand is None:
-                        acc.add(_ROW_MARKER)
-                    else:
+        member_lists = list(groups.values())
+        key_cols: list[list] = [[] for _ in op.keys]
+        if single_key:
+            key_cols[0] = list(groups)
+        else:
+            for key in groups:
+                for col, tid in zip(key_cols, key):
+                    col.append(tid)
+
+        agg_cols = [self._aggregate_column(child, agg, member_lists)
+                    for _var, agg in op.aggregates]
+        out_vars = op.keys + tuple(var for var, _agg in op.aggregates)
+        return BindingBatch(out_vars, key_cols + agg_cols,
+                            [0] * len(member_lists))
+
+    def _aggregate_column(self, child: BindingBatch, agg: AggregateExpr,
+                          member_lists: list[list[int]]) -> list[Optional[int]]:
+        """One aggregate evaluated over every group, in id-space.
+
+        Non-DISTINCT COUNT/SUM/AVG/MIN/MAX over a plain variable — the
+        whole SOFOS query class — run on ids with a per-distinct-id numeric
+        memo and never build accumulator objects; everything else falls
+        back to the spec-faithful accumulators.
+        """
+        encode = self.encode_term
+        operand = agg.operand
+        if operand is None:  # COUNT(*)
+            return [encode(typed_literal(len(members)))
+                    for members in member_lists]
+
+        fast_col: Optional[list] = None
+        if not agg.distinct and isinstance(operand, VarExpr):
+            k = child.index.get(operand.var)
+            fast_col = child.columns[k] if k is not None \
+                else [None] * len(child)
+
+        if fast_col is not None and agg.name == "COUNT":
+            return [encode(typed_literal(
+                sum(1 for i in members if fast_col[i] is not None)))
+                for members in member_lists]
+
+        if fast_col is not None and agg.name in ("SUM", "AVG"):
+            decode = self.decode_id
+            numbers = self._num_cache
+            out: list[Optional[int]] = []
+            for members in member_lists:
+                total: int | float = 0
+                count = 0
+                poisoned = False
+                for i in members:
+                    tid = fast_col[i]
+                    if tid is None:  # unbound poisons SUM/AVG
+                        poisoned = True
+                        break
+                    value = numbers.get(tid)
+                    if value is None:
                         try:
-                            acc.add(evaluate(agg.operand, member, self._ctx))
+                            value = to_number(decode(tid))
                         except ExpressionError:
-                            acc.add(None)
-            out: Binding = {}
-            for var_key, term in zip(op.keys, key):
-                if term is not None:
-                    out[var_key] = term
-            for var, _agg, acc in accumulators:
-                value = acc.result()
-                if value is not None:
-                    out[var] = value
-            yield out
+                            value = _EVAL_ERROR
+                        numbers[tid] = value
+                    if value is _EVAL_ERROR:
+                        poisoned = True
+                        break
+                    total += value  # type: ignore[operator]
+                    count += 1
+                if poisoned:
+                    out.append(None)
+                elif agg.name == "SUM":
+                    out.append(encode(numeric_result(total)))
+                elif count == 0:
+                    out.append(encode(typed_literal(0)))
+                else:
+                    out.append(encode(typed_literal(total / count)))
+            return out
 
-    # -- solution modifiers ------------------------------------------------------------
+        if fast_col is not None and agg.name in ("MIN", "MAX"):
+            decode = self.decode_id
+            keep_max = agg.name == "MAX"
+            sort_keys = self._okey_cache
+            out = []
+            for members in member_lists:
+                best: Optional[int] = None
+                best_key: Optional[tuple] = None
+                poisoned = False
+                for i in members:
+                    tid = fast_col[i]
+                    if tid is None:  # unbound poisons MIN/MAX
+                        poisoned = True
+                        break
+                    key = sort_keys.get(tid)
+                    if key is None:
+                        key = order_key(decode(tid))
+                        sort_keys[tid] = key
+                    if best_key is None or (key > best_key if keep_max
+                                            else key < best_key):
+                        best, best_key = tid, key
+                out.append(None if poisoned else best)
+            return out
 
-    def _eval_project(self, op: ProjectOp, seed: Binding) -> Iterator[Binding]:
-        wanted = op.variables
-        for binding in self._eval(op.child, seed):
-            yield {v: binding[v] for v in wanted if v in binding}
+        # Generic path: accumulators over per-row operand terms.
+        ctx = self._ctx
+        if fast_col is not None:
+            decode = self.decode_id
+            term_memo: dict[int, Term] = {}
 
-    def _eval_distinct(self, op: DistinctOp, seed: Binding
-                       ) -> Iterator[Binding]:
-        seen: set[frozenset] = set()
-        for binding in self._eval(op.child, seed):
-            key = frozenset(binding.items())
-            if key not in seen:
-                seen.add(key)
-                yield binding
+            def term_at(i: int) -> Optional[Term]:
+                tid = fast_col[i]
+                if tid is None:
+                    return None
+                term = term_memo.get(tid)
+                if term is None:
+                    term = decode(tid)
+                    term_memo[tid] = term
+                return term
 
-    def _eval_orderby(self, op: OrderByOp, seed: Binding) -> Iterator[Binding]:
-        solutions = list(self._eval(op.child, seed))
+            values = None
+        else:
+            def compute(binding: Binding, _e=operand):
+                try:
+                    return evaluate(_e, binding, ctx)
+                except ExpressionError:
+                    return _EVAL_ERROR
 
+            values = self._per_row_eval(
+                child, self._needed_vars(child, operand), compute)
+
+        out = []
+        for members in member_lists:
+            acc = make_accumulator(agg.name, agg.distinct, agg.separator)
+            if values is None:
+                for i in members:
+                    acc.add(term_at(i))
+            else:
+                for i in members:
+                    value = values[i]
+                    acc.add(None if value is _EVAL_ERROR else value)
+            result = acc.result()
+            out.append(None if result is None else encode(result))
+        return out
+
+    # -- solution modifiers ---------------------------------------------------
+
+    def _eval_project(self, op: ProjectOp, seed: BindingBatch) -> BindingBatch:
+        child = self._eval(op.child, seed)
+        n = len(child)
+        cols = []
+        for var in op.variables:
+            k = child.index.get(var)
+            cols.append(child.columns[k] if k is not None else [None] * n)
+        return BindingBatch(op.variables, cols, child.prov)
+
+    def _eval_distinct(self, op: DistinctOp, seed: BindingBatch
+                       ) -> BindingBatch:
+        child = self._eval(op.child, seed)
+        seen: set[tuple] = set()
+        keep: list[int] = []
+        for i, row in enumerate(child.row_tuples()):
+            if row not in seen:
+                seen.add(row)
+                keep.append(i)
+        if len(keep) == len(child):
+            return child
+        return child.gather(keep)
+
+    def _eval_orderby(self, op: OrderByOp, seed: BindingBatch) -> BindingBatch:
+        child = self._eval(op.child, seed)
+        ctx = self._ctx
+        idx = list(range(len(child)))
         # Stable-sort from the least-significant condition backwards so the
         # per-condition ascending/descending flags compose correctly.
         for condition in reversed(op.conditions):
-            def key(binding: Binding, _c=condition) -> tuple:
+            expr = condition.expression
+
+            def compute(binding: Binding, _e=expr) -> tuple:
                 try:
-                    return order_key(evaluate(_c.expression, binding, self._ctx))
+                    return order_key(evaluate(_e, binding, ctx))
                 except ExpressionError:
                     return (0,)
 
-            solutions.sort(key=key, reverse=not condition.ascending)
-        return iter(solutions)
+            sort_keys = self._per_row_eval(
+                child, self._needed_vars(child, expr), compute)
+            idx.sort(key=sort_keys.__getitem__,
+                     reverse=not condition.ascending)
+        return child.gather(idx)
 
 
-#: Sentinel fed to COUNT(*) accumulators — any non-None term-like value works.
-from ..rdf.terms import IRI as _IRI  # noqa: E402  (import placed for clarity)
-_ROW_MARKER = _IRI("urn:sofos:row")
+# --------------------------------------------------------------------------
+# Static analysis helpers
+# --------------------------------------------------------------------------
+
+def _mentions_exists(expr: Expression) -> bool:
+    if isinstance(expr, ExistsExpr):
+        return True
+    if isinstance(expr, (OrExpr, AndExpr, CompareExpr, ArithExpr)):
+        return _mentions_exists(expr.left) or _mentions_exists(expr.right)
+    if isinstance(expr, (NotExpr, NegExpr)):
+        return _mentions_exists(expr.operand)
+    if isinstance(expr, FuncCall):
+        return any(_mentions_exists(a) for a in expr.args)
+    if isinstance(expr, InExpr):
+        return (_mentions_exists(expr.operand)
+                or any(_mentions_exists(o) for o in expr.options))
+    if isinstance(expr, AggregateExpr):
+        return expr.operand is not None and _mentions_exists(expr.operand)
+    return False
+
+
+def _expr_variables(expr: Expression) -> Optional[set[Variable]]:
+    """Variables an expression can observe; None = potentially any (EXISTS)."""
+    if _mentions_exists(expr):
+        return None
+    return expr.variables()
+
+
+def _op_variables(op: AlgebraOp) -> Optional[set[Variable]]:
+    """All variables an operator subtree can observe or bind.
+
+    ``None`` means "cannot be determined" (an EXISTS filter may peek at any
+    outer variable); callers must then assume the whole seed row matters.
+    This drives the deduplicated seeding of join right-hand sides.
+    """
+    if isinstance(op, UnitOp):
+        return set()
+    if isinstance(op, BGPOp):
+        out: set[Variable] = set()
+        for p in op.patterns:
+            out.update(p.variables())
+        return out
+    if isinstance(op, (JoinOp, LeftJoinOp)):
+        left = _op_variables(op.left)
+        right = _op_variables(op.right)
+        if left is None or right is None:
+            return None
+        return left | right
+    if isinstance(op, UnionOp):
+        out = set()
+        for branch in op.branches:
+            sub = _op_variables(branch)
+            if sub is None:
+                return None
+            out.update(sub)
+        return out
+    if isinstance(op, FilterOp):
+        child = _op_variables(op.child)
+        evars = _expr_variables(op.expression)
+        if child is None or evars is None:
+            return None
+        return child | evars
+    if isinstance(op, ExtendOp):
+        child = _op_variables(op.child)
+        evars = _expr_variables(op.expression)
+        if child is None or evars is None:
+            return None
+        return child | evars | {op.var}
+    if isinstance(op, TableOp):
+        return set(op.variables)
+    if isinstance(op, GroupOp):
+        child = _op_variables(op.child)
+        if child is None:
+            return None
+        out = child | set(op.keys)
+        for var, agg in op.aggregates:
+            out.add(var)
+            if agg.operand is not None:
+                evars = _expr_variables(agg.operand)
+                if evars is None:
+                    return None
+                out.update(evars)
+        return out
+    if isinstance(op, ProjectOp):
+        child = _op_variables(op.child)
+        if child is None:
+            return None
+        return child | set(op.variables)
+    if isinstance(op, (DistinctOp, SliceOp)):
+        return _op_variables(op.child)
+    if isinstance(op, OrderByOp):
+        child = _op_variables(op.child)
+        if child is None:
+            return None
+        out = set(child)
+        for condition in op.conditions:
+            evars = _expr_variables(condition.expression)
+            if evars is None:
+                return None
+            out.update(evars)
+        return out
+    return None

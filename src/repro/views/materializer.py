@@ -67,11 +67,93 @@ def materialize_view(view: ViewDefinition, engine: QueryEngine,
             f"target graph for view {view.label!r} is not empty; drop it "
             "before re-materializing")
     start = time.perf_counter()
-    table = engine.query(view.materialization_query())
 
     is_avg = view.facet.aggregate.name == "AVG"
     value_var = SUM_VAR if is_avg else MEASURE_VAR
     value_pred = SOFOS.sum if is_avg else SOFOS.measure
+
+    if target.dictionary is engine.graph.dictionary:
+        groups, triples_added = _materialize_ids(
+            view, engine, target, value_var, value_pred)
+    else:
+        groups, triples_added = _materialize_terms(
+            view, engine, target, value_var, value_pred)
+
+    elapsed = time.perf_counter() - start
+    return MaterializationStats(
+        view=view,
+        groups=groups,
+        triples=triples_added,
+        nodes=target.node_count(),
+        build_seconds=elapsed,
+    )
+
+
+def _materialize_ids(view: ViewDefinition, engine: QueryEngine,
+                     target: Graph, value_var: Variable,
+                     value_pred: IRI) -> tuple[int, int]:
+    """Id-native encoding: the view query's result batch is written into
+    the target graph without a decode→re-encode round trip.
+
+    Only dimension/measure ids computed at query time (negative overlay
+    ids, e.g. a SUM the base graph never stored) cross the term boundary,
+    via one ``encode`` each; everything else is moved as raw ids.  Requires
+    the target to share the engine graph's dictionary (the dataset's named
+    view graphs always do).
+    """
+    variables, batch = engine.query_ids(view.materialization_query())
+    executor = engine.executor
+    dictionary = target.dictionary
+    encode = dictionary.encode
+    decode_query_id = executor.decode_id
+    columns = {v: k for k, v in enumerate(batch.variables)}
+
+    def column(var: Variable) -> list:
+        k = columns.get(var)
+        return batch.columns[k] if k is not None else [None] * len(batch)
+
+    dim_cols = [(encode(dimension_predicate(v)), column(v))
+                for v in view.variables]
+    value_col = column(value_var)
+    count_col = column(COUNT_VAR)
+    view_pred_id = encode(SOFOS.view)
+    view_iri_id = encode(view.iri)
+    value_pred_id = encode(value_pred)
+    count_pred_id = encode(SOFOS.groupCount)
+    zero_count_id = encode(typed_literal(0))
+
+    def target_id(tid: int) -> int:
+        # Overlay ids are private to the executor; intern the term.
+        return tid if tid >= 0 else encode(decode_query_id(tid))
+
+    id_triples: list[tuple[int, int, int]] = []
+    for row in range(len(batch)):
+        node_id = encode(BlankNode.fresh(f"v{view.mask}g"))
+        id_triples.append((node_id, view_pred_id, view_iri_id))
+        for pred_id, col in dim_cols:
+            tid = col[row]
+            if tid is not None:
+                id_triples.append((node_id, pred_id, target_id(tid)))
+        measure_id = value_col[row]
+        if measure_id is not None:
+            if not isinstance(decode_query_id(measure_id), Literal):
+                raise ViewError(
+                    f"view {view.label!r} produced a non-literal aggregate "
+                    f"{decode_query_id(measure_id)!r} in group {row}")
+            id_triples.append((node_id, value_pred_id,
+                               target_id(measure_id)))
+        count_id = count_col[row]
+        id_triples.append((node_id, count_pred_id,
+                           zero_count_id if count_id is None
+                           else target_id(count_id)))
+    return len(batch), target.add_ids_bulk(id_triples)
+
+
+def _materialize_terms(view: ViewDefinition, engine: QueryEngine,
+                       target: Graph, value_var: Variable,
+                       value_pred: IRI) -> tuple[int, int]:
+    """Term-level fallback for targets with a foreign dictionary."""
+    table = engine.query(view.materialization_query())
     columns = {v: i for i, v in enumerate(table.variables)}
     dim_index = [(dimension_predicate(v), columns[v]) for v in view.variables]
     value_index = columns[value_var]
@@ -80,12 +162,11 @@ def materialize_view(view: ViewDefinition, engine: QueryEngine,
     triples_added = 0
     for row_number, row in enumerate(table.rows):
         node = BlankNode.fresh(f"v{view.mask}g")
-        target.add(Triple(node, SOFOS.view, view.iri))
-        triples_added += 1
+        if target.add(Triple(node, SOFOS.view, view.iri)):
+            triples_added += 1
         for predicate, idx in dim_index:
             value = row[idx]
-            if value is not None:
-                target.add(Triple(node, predicate, value))
+            if value is not None and target.add(Triple(node, predicate, value)):
                 triples_added += 1
         measure = row[value_index]
         if measure is not None:
@@ -93,18 +174,10 @@ def materialize_view(view: ViewDefinition, engine: QueryEngine,
                 raise ViewError(
                     f"view {view.label!r} produced a non-literal aggregate "
                     f"{measure!r} in group {row_number}")
-            target.add(Triple(node, value_pred, measure))
-            triples_added += 1
+            if target.add(Triple(node, value_pred, measure)):
+                triples_added += 1
         count = row[count_index]
-        target.add(Triple(node, SOFOS.groupCount,
-                          count if count is not None else typed_literal(0)))
-        triples_added += 1
-
-    elapsed = time.perf_counter() - start
-    return MaterializationStats(
-        view=view,
-        groups=len(table),
-        triples=triples_added,
-        nodes=target.node_count(),
-        build_seconds=elapsed,
-    )
+        if target.add(Triple(node, SOFOS.groupCount,
+                             count if count is not None else typed_literal(0))):
+            triples_added += 1
+    return len(table), triples_added

@@ -1,0 +1,206 @@
+"""Unit tests for the id-space plumbing under the batched executor:
+
+bulk graph mutation, adjacency accessors, version-keyed statistics caches,
+bulk dictionary codecs, the BindingBatch container, and the engine-level
+compilation caches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rdf import Graph, Namespace, Triple, typed_literal
+from repro.rdf.dictionary import TermDictionary
+from repro.rdf.terms import Literal, Variable
+from repro.sparql import QueryEngine, parse_query, translate_query
+from repro.sparql.batch import BindingBatch, dedup_rows
+
+EX = Namespace("http://example.org/")
+
+
+def small_graph() -> Graph:
+    g = Graph()
+    g.add(Triple(EX.a, EX.p, EX.b))
+    g.add(Triple(EX.a, EX.p, EX.c))
+    g.add(Triple(EX.b, EX.q, EX.c))
+    return g
+
+
+class TestBulkMutation:
+    def test_add_ids_bulk_inserts_and_counts(self):
+        g = Graph()
+        d = g.dictionary
+        ids = [(d.encode(EX.a), d.encode(EX.p), d.encode(EX.b)),
+               (d.encode(EX.a), d.encode(EX.p), d.encode(EX.c)),
+               (d.encode(EX.a), d.encode(EX.p), d.encode(EX.b))]  # dup
+        assert g.add_ids_bulk(ids) == 2
+        assert len(g) == 2
+        assert Triple(EX.a, EX.p, EX.b) in g
+
+    def test_add_ids_bulk_single_version_bump(self):
+        g = small_graph()
+        v0 = g.version
+        d = g.dictionary
+        ids = [(d.encode(EX.x), d.encode(EX.p), d.encode(EX.y)),
+               (d.encode(EX.x), d.encode(EX.p), d.encode(EX.z))]
+        assert g.add_ids_bulk(ids) == 2
+        assert g.version == v0 + 1
+
+    def test_add_ids_bulk_noop_keeps_version(self):
+        g = small_graph()
+        v0 = g.version
+        d = g.dictionary
+        assert g.add_ids_bulk(
+            [(d.encode(EX.a), d.encode(EX.p), d.encode(EX.b))]) == 0
+        assert g.version == v0
+
+    def test_update_counts_actual_inserts(self):
+        g = small_graph()
+        n = g.update([Triple(EX.a, EX.p, EX.b),   # duplicate
+                      Triple(EX.n, EX.p, EX.m)])
+        assert n == 1
+        assert len(g) == 4
+
+
+class TestAdjacency:
+    def test_adjacent_ids_each_wildcard_position(self):
+        g = small_graph()
+        d = g.dictionary
+        a, p, b, c = (d.encode(t) for t in (EX.a, EX.p, EX.b, EX.c))
+        assert g.adjacent_ids(a, p, None) == {b, c}
+        assert g.adjacent_ids(None, p, b) == {a}
+        assert g.adjacent_ids(a, None, b) == {p}
+        assert g.adjacent_ids(10**6, p, None) == frozenset()
+
+    def test_adjacent_ids_requires_one_wildcard(self):
+        g = small_graph()
+        with pytest.raises(ValueError):
+            g.adjacent_ids(None, None, 0)
+        with pytest.raises(ValueError):
+            g.adjacent_ids(0, 1, 2)
+
+    def test_pair_adjacency_all_shapes(self):
+        g = small_graph()
+        d = g.dictionary
+        a, p, b, c, q = (d.encode(t) for t in (EX.a, EX.p, EX.b, EX.c, EX.q))
+        assert g.pair_adjacency(0, 2, p)(a) == {b, c}     # (key, P, ?)
+        assert g.pair_adjacency(2, 0, p)(b) == {a}        # (?, P, key)
+        assert g.pair_adjacency(0, 1, c)(b) == {q}        # (key, ?, C)
+        assert g.pair_adjacency(1, 2, a)(p) == {b, c}     # (A, key, ?)
+        assert g.pair_adjacency(1, 0, c)(q) == {b}        # (?, key, C)
+        assert g.pair_adjacency(2, 1, a)(b) == {p}        # (A, ?, key)
+        # Unknown constant: accessor still works, returns nothing.
+        assert g.pair_adjacency(2, 0, 10**6)(b) is None
+
+    def test_pair_adjacency_rejects_bad_positions(self):
+        with pytest.raises(ValueError):
+            small_graph().pair_adjacency(0, 0, 1)
+
+
+class TestStatsCaches:
+    def test_node_ids_cached_until_mutation(self):
+        g = small_graph()
+        first = g.node_ids()
+        assert g.node_ids() is first          # same cached set
+        g.add(Triple(EX.x, EX.p, EX.y))
+        second = g.node_ids()
+        assert second is not first
+        assert g.dictionary.encode(EX.x) in second
+
+    def test_predicate_histogram_cached_copy_is_safe(self):
+        g = small_graph()
+        hist = g.predicate_histogram()
+        hist[EX.p] = 999                      # caller mutates its copy
+        assert g.predicate_histogram()[EX.p] == 2
+        g.discard(Triple(EX.a, EX.p, EX.c))
+        assert g.predicate_histogram()[EX.p] == 1
+
+    def test_node_count_tracks_include_predicates(self):
+        g = small_graph()
+        assert g.node_count() == 3
+        assert g.node_count(include_predicates=True) == 5
+
+
+class TestDictionaryBulk:
+    def test_encode_many_decode_many_roundtrip(self):
+        d = TermDictionary()
+        terms = [EX.a, EX.b, EX.a, Literal("x")]
+        ids = d.encode_many(terms)
+        assert ids[0] == ids[2]
+        assert d.decode_many(ids) == terms
+        assert d.encode_many([EX.a]) == [ids[0]]   # stable ids
+
+
+class TestBindingBatch:
+    def test_unit_and_empty(self):
+        assert len(BindingBatch.unit()) == 1
+        assert BindingBatch.unit().row_tuples() == [()]
+        assert len(BindingBatch.empty((Variable("x"),))) == 0
+
+    def test_key_tuples_and_gather(self):
+        x, y = Variable("x"), Variable("y")
+        batch = BindingBatch((x, y), [[1, 2, 1], [7, None, 7]], [0, 1, 2])
+        assert batch.key_tuples((y, x)) == [(7, 1), (None, 2), (7, 1)]
+        assert batch.key_tuples((Variable("z"),)) == [(None,)] * 3
+        picked = batch.gather([2, 0])
+        assert picked.row_tuples() == [(1, 7), (1, 7)]
+        assert picked.prov == [2, 0]
+
+    def test_dedup_rows(self):
+        by_key, row_map = dedup_rows([(1,), (2,), (1,), (1,)])
+        assert by_key == {(1,): 0, (2,): 1}
+        assert row_map == [0, 1, 0, 0]
+
+    def test_decode_rows_uses_cache(self):
+        x = Variable("x")
+        calls = []
+
+        def decode(tid):
+            calls.append(tid)
+            return typed_literal(tid)
+
+        batch = BindingBatch((x,), [[5, 5, None, 6]], [0, 1, 2, 3])
+        rows = batch.decode_rows(decode)
+        assert rows[2] == (None,)
+        assert rows[0] == rows[1] == (typed_literal(5),)
+        assert sorted(calls) == [5, 6]          # each id decoded once
+
+
+class TestEngineCaches:
+    def test_prepare_memoizes_query_text(self):
+        engine = QueryEngine(small_graph())
+        text = ("PREFIX ex: <http://example.org/> "
+                "SELECT ?s WHERE { ?s ex:p ?o . }")
+        assert engine.prepare(text) is engine.prepare(text)
+
+    def test_bgp_plan_cache_invalidated_by_mutation(self):
+        g = small_graph()
+        engine = QueryEngine(g)
+        text = ("PREFIX ex: <http://example.org/> "
+                "SELECT ?s WHERE { ?s ex:r ?o . }")
+        assert len(engine.query(text)) == 0     # ex:r unknown → cached None
+        g.add(Triple(EX.a, EX.r, EX.b))
+        assert len(engine.query(text)) == 1     # version bump recompiles
+
+    def test_overlay_ids_are_private_to_executor(self):
+        g = small_graph()
+        engine = QueryEngine(g)
+        before = len(g.dictionary)
+        table = engine.query(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?v WHERE { ?s ex:p ?o . BIND(40 + 2 AS ?v) }")
+        assert len(g.dictionary) == before      # no dictionary pollution
+        assert {cell.to_python() for row in table for cell in row} == {42}
+
+    def test_exists_cache_keyed_by_group_pattern(self):
+        engine = QueryEngine(small_graph())
+        text = ("PREFIX ex: <http://example.org/> SELECT ?s WHERE "
+                "{ ?s ex:p ?o . FILTER EXISTS { ?s ex:p ex:b . } }")
+        # Two structurally identical plans from separate parses share one
+        # compiled EXISTS entry (value-keyed, strong reference — no id()
+        # reuse hazard).
+        for _ in range(2):
+            plan = translate_query(parse_query(text))
+            # ex:a has two ex:p objects, and only ex:a passes the EXISTS.
+            assert len(list(engine.executor.run(plan))) == 2
+        assert len(engine.executor._exists_cache) == 1
