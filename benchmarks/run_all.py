@@ -5,8 +5,10 @@ queries, and the E5-style generated workload on all three demo datasets)
 through BOTH executors — the batched id-space pipeline and the retained
 tuple-at-a-time reference — and writes ``BENCH_engine.json`` at the repo
 root: per-suite median timings, dataset sizes, and speedup vs the seed
-baseline.  Every future perf PR appends its own before/after point by
-re-running this script.
+baseline.  The maintenance suite (incremental view patching vs full
+rebuilds, see ``run_maintenance.py``) is folded into the same summary.
+Every future perf PR appends its own before/after point by re-running
+this script.
 
 Usage::
 
@@ -25,10 +27,14 @@ import sys
 import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 from repro.datasets import DBPediaConfig, generate_dbpedia, load_dataset
 from repro.sparql import QueryEngine, ReferenceExecutor, ResultTable
 from repro.workload import WorkloadConfig, WorkloadGenerator
+
+from run_maintenance import run_suites as run_maintenance_suites, \
+    small_delta_summary
 
 REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
 
@@ -132,12 +138,18 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
                         help="fast CI pass: smaller scales and repetitions")
+    parser.add_argument("--skip-maintenance", action="store_true",
+                        help="omit the maintenance suite (when a separate "
+                             "run_maintenance.py invocation covers it)")
     parser.add_argument("--out", default=os.path.join(REPO_ROOT,
                                                       "BENCH_engine.json"))
     args = parser.parse_args(argv)
 
     suites = run_suites(smoke=args.smoke)
     speedups = [s["speedup"] for s in suites.values()]
+    maintenance_suites = {} if args.skip_maintenance \
+        else run_maintenance_suites(smoke=args.smoke)
+    maintenance = small_delta_summary(maintenance_suites)
     payload = {
         "benchmark": "engine",
         "mode": "smoke" if args.smoke else "full",
@@ -147,17 +159,31 @@ def main(argv: list[str] | None = None) -> int:
         "median_speedup": round(statistics.median(speedups), 2),
         "min_speedup": round(min(speedups), 2),
     }
+    if maintenance_suites:
+        payload["maintenance"] = {
+            "baseline": "ViewCatalog.refresh_stale() full rebuilds",
+            "suites": maintenance_suites,
+            "small_delta": maintenance,
+        }
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
 
-    width = max(len(k) for k in suites)
+    width = max(len(k) for k in list(suites) + list(maintenance_suites))
     print(f"{'suite'.ljust(width)}  batched ms  reference ms  speedup")
     for key, suite in suites.items():
         print(f"{key.ljust(width)}  {suite['batched_ms']:>10.2f}  "
               f"{suite['reference_ms']:>12.2f}  {suite['speedup']:>6.1f}x")
-    print(f"median speedup: {payload['median_speedup']:.1f}x "
-          f"(written to {os.path.relpath(args.out, REPO_ROOT)})")
+    summary = f"median speedup: {payload['median_speedup']:.1f}x engine"
+    if maintenance_suites:
+        print(f"{'maintenance'.ljust(width)}    patch ms    rebuild ms  "
+              "speedup")
+        for key, suite in maintenance_suites.items():
+            print(f"{key.ljust(width)}  {suite['incremental_ms']:>10.2f}  "
+                  f"{suite['rebuild_ms']:>12.2f}  {suite['speedup']:>6.1f}x")
+        summary += (f", {maintenance['median_speedup']:.1f}x small-delta "
+                    "maintenance")
+    print(f"{summary} (written to {os.path.relpath(args.out, REPO_ROOT)})")
     return 0
 
 

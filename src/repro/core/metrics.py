@@ -45,6 +45,9 @@ class QueryOutcome:
     seconds: float
     view_label: Optional[str]    # None = answered from the base graph
     rewrite_seconds: float = 0.0
+    #: True when the answer came from a view built against an older base
+    #: graph (deferred-maintenance snapshot serving).
+    stale: bool = False
 
     @property
     def used_view(self) -> bool:

@@ -4,6 +4,20 @@ For each incoming analytical query the module: routes it to the best
 usable materialized view (or the base graph), rewrites it onto the view's
 encoding, executes, and measures — producing the per-query and per-
 workload numbers the demo's "query performance analyzer" panel plots.
+
+Views can go stale while the graph changes underneath them; the module's
+**maintenance policy** decides what happens when a stale view is routed:
+
+* ``"rebuild"`` — re-materialize the view in place before answering (the
+  legacy ``auto_refresh=True`` behaviour);
+* ``"incremental"`` — patch all stale views through the wired
+  :class:`~repro.views.maintenance.ViewMaintainer` before answering;
+* ``"deferred"`` — serve the frozen snapshot and leave maintenance to an
+  explicit ``maintain()`` call, with the answer flagged ``stale``;
+* ``None`` (no policy) — no repair happens here; unless ``skip_stale`` is
+  disabled, the router then excludes stale views so queries fall back to
+  the always-current base graph rather than silently answering from
+  frozen data.
 """
 
 from __future__ import annotations
@@ -12,11 +26,13 @@ import time
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from ..errors import ReproError
 from ..rdf.terms import IRI
 from ..cube.query import AnalyticalQuery
 from ..sparql.engine import QueryEngine
 from ..sparql.results import ResultTable
 from ..views.catalog import ViewCatalog
+from ..views.maintenance import MAINTENANCE_POLICIES, ViewMaintainer
 from ..views.rewriter import rewrite_on_view
 from ..views.router import Ranking, ViewRouter
 from .metrics import QueryOutcome, WorkloadRun
@@ -35,18 +51,52 @@ class Answer:
     def used_view(self) -> Optional[str]:
         return self.outcome.view_label
 
+    @property
+    def stale(self) -> bool:
+        """True when the answer reflects an older base-graph snapshot."""
+        return self.outcome.stale
+
 
 class OnlineModule:
     """Routes, rewrites, executes, and measures analytical queries."""
 
     def __init__(self, catalog: ViewCatalog,
                  ranking: Ranking | None = None,
-                 auto_refresh: bool = False) -> None:
+                 auto_refresh: bool = False,
+                 maintainer: ViewMaintainer | None = None,
+                 policy: Optional[str] = None,
+                 skip_stale: Optional[bool] = None) -> None:
+        if policy is not None and policy not in MAINTENANCE_POLICIES:
+            raise ReproError(
+                f"unknown maintenance policy {policy!r}; expected one of "
+                + ", ".join(MAINTENANCE_POLICIES))
+        if policy == "incremental" and maintainer is None:
+            raise ReproError(
+                "the 'incremental' policy needs a ViewMaintainer")
+        if policy is None and maintainer is not None:
+            # A wired maintainer IS the refresher; without an explicit
+            # policy it would otherwise sit idle while also suppressing
+            # the skip-stale default — the worst of both worlds.
+            policy = "incremental"
+        if auto_refresh and policy not in (None, "rebuild"):
+            # auto_refresh is the legacy spelling of "rebuild"; silently
+            # letting it override an incremental/deferred request would
+            # rebuild past the maintainer and orphan its group indexes.
+            raise ReproError(
+                f"auto_refresh contradicts the {policy!r} policy; drop "
+                "auto_refresh or use policy='rebuild'")
         self._catalog = catalog
-        self._router = ViewRouter(catalog, ranking)
+        self._auto_refresh = auto_refresh
+        self._maintainer = maintainer
+        self._policy = policy
+        if skip_stale is None:
+            # Default on exactly when nobody can repair a stale view and
+            # snapshot serving was not explicitly chosen ("deferred").
+            skip_stale = (policy is None and not auto_refresh
+                          and maintainer is None)
+        self._router = ViewRouter(catalog, ranking, skip_stale=skip_stale)
         self._base_engine = catalog.base_engine
         self._view_engines: dict[IRI, QueryEngine] = {}
-        self._auto_refresh = auto_refresh
 
     @property
     def catalog(self) -> ViewCatalog:
@@ -56,6 +106,14 @@ class OnlineModule:
     def router(self) -> ViewRouter:
         return self._router
 
+    @property
+    def maintainer(self) -> Optional[ViewMaintainer]:
+        return self._maintainer
+
+    @property
+    def policy(self) -> Optional[str]:
+        return self._policy
+
     def _engine_for(self, name: IRI) -> QueryEngine:
         engine = self._view_engines.get(name)
         if engine is None:
@@ -63,22 +121,30 @@ class OnlineModule:
             self._view_engines[name] = engine
         return engine
 
+    def _repair(self, view) -> None:
+        """Bring a stale routed view current, per the maintenance policy."""
+        if self._auto_refresh or self._policy == "rebuild":
+            # refresh rebuilds the named graph in place, so the cached
+            # engine over that graph keeps working
+            self._catalog.refresh(view)
+        elif self._policy == "incremental":
+            self._maintainer.synchronize()
+        # "deferred" (and no policy): serve the snapshot as-is
+
     def answer(self, query: AnalyticalQuery) -> Answer:
         """Answer one query, preferring materialized views.
 
-        With ``auto_refresh`` the routed view is rebuilt first when the
-        base graph has changed since materialization, so answers are
-        always current; without it, stale views answer with their frozen
-        snapshot (the caller owns refreshing via the catalog).
+        Stale routed views are repaired according to the module's
+        maintenance policy; under ``"deferred"`` (or no policy with
+        ``skip_stale`` disabled) the frozen snapshot answers and the
+        outcome carries ``stale=True`` so callers can see it.
         """
         entry = self._router.route(query)
         if entry is None:
             return self.answer_from_base(query)
         view = entry.definition
-        if self._auto_refresh and self._catalog.is_stale(view):
-            # refresh rebuilds the named graph in place, so the cached
-            # engine over that graph keeps working
-            self._catalog.refresh(view)
+        if self._catalog.is_stale(view):
+            self._repair(view)
 
         rewrite_start = time.perf_counter()
         rewritten = rewrite_on_view(query, view)
@@ -93,6 +159,7 @@ class OnlineModule:
             seconds=exec_seconds,
             view_label=view.label,
             rewrite_seconds=rewrite_seconds,
+            stale=self._catalog.is_stale(view),
         )
         return Answer(table=table, outcome=outcome)
 

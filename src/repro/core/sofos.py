@@ -26,6 +26,8 @@ from ..cost.profiler import LatticeProfile
 from ..selection.greedy import GreedySelector
 from ..selection.plans import SelectionResult
 from ..views.catalog import ViewCatalog
+from ..views.maintenance import MAINTENANCE_POLICIES, MaintenanceReport, \
+    ViewMaintainer, ViewMaintenance
 from ..workload.generator import WorkloadConfig, WorkloadGenerator
 from .metrics import Timer, WorkloadRun
 from .offline import OfflineModule, Selector
@@ -43,16 +45,22 @@ class Sofos:
     """Materialized-view selection and comparison over one facet."""
 
     def __init__(self, graph: Graph | Dataset, facet: AnalyticalFacet,
-                 seed: int = 0) -> None:
+                 seed: int = 0, maintenance: str = "rebuild") -> None:
+        if maintenance not in MAINTENANCE_POLICIES:
+            raise ReproError(
+                f"unknown maintenance policy {maintenance!r}; expected one "
+                "of " + ", ".join(MAINTENANCE_POLICIES))
         if isinstance(graph, Dataset):
             self._dataset = graph
         else:
             self._dataset = Dataset.wrap(graph)
         self._facet = facet
         self._seed = seed
+        self._maintenance = maintenance
         self._offline = OfflineModule(self._dataset, facet)
         self._catalog: ViewCatalog | None = None
         self._online: OnlineModule | None = None
+        self._maintainer: ViewMaintainer | None = None
 
     # -- introspection ------------------------------------------------------
 
@@ -77,6 +85,16 @@ class Sofos:
         """The current materialized views (None before materialization)."""
         return self._catalog
 
+    @property
+    def maintenance_policy(self) -> str:
+        """How stale views are reconciled (rebuild|incremental|deferred)."""
+        return self._maintenance
+
+    @property
+    def maintainer(self) -> ViewMaintainer | None:
+        """The incremental maintainer (None under the rebuild policy)."""
+        return self._maintainer
+
     def profile(self) -> LatticeProfile:
         """Full-lattice statistics (computed once, cached)."""
         return self._offline.profile()
@@ -98,11 +116,20 @@ class Sofos:
         return self._offline.select(selector, k, workload)
 
     def materialize(self, selection: SelectionResult) -> ViewCatalog:
-        """Materialize a selection, replacing any current views."""
+        """Materialize a selection, replacing any current views.
+
+        Under the ``incremental`` and ``deferred`` policies a
+        :class:`ViewMaintainer` is attached to the fresh catalog, so
+        subsequent base-graph updates are captured as deltas from the
+        moment the views are built.
+        """
         self.drop_views()
         catalog = self._offline.materialize(selection)
         self._catalog = catalog
-        self._online = OnlineModule(catalog)
+        if self._maintenance != "rebuild":
+            self._maintainer = ViewMaintainer(catalog)
+        self._online = OnlineModule(catalog, maintainer=self._maintainer,
+                                    policy=self._maintenance)
         return catalog
 
     def select_and_materialize(self, model: str | CostModel = "agg_values",
@@ -120,6 +147,30 @@ class Sofos:
             return []
         return self._catalog.refresh_stale()
 
+    def maintain(self) -> MaintenanceReport:
+        """Reconcile stale views according to the maintenance policy.
+
+        Under ``incremental``/``deferred`` the maintainer drains the
+        change log and patches (falling back to rebuilds when a window is
+        not incrementalizable); under ``rebuild`` every stale view is
+        re-materialized.  Either way the returned report itemizes what
+        happened to each view.
+        """
+        if self._maintainer is not None:
+            return self._maintainer.synchronize()
+        report = MaintenanceReport()
+        if self._catalog is None:
+            return report
+        version = self._catalog.base_version
+        report.from_version = report.to_version = version
+        for entry in self._catalog.stale_views():
+            with Timer() as timer:
+                self._catalog.refresh(entry.definition)
+            report.views.append(ViewMaintenance(
+                label=entry.label, action="rebuilt",
+                seconds=timer.seconds, reason="rebuild policy"))
+        return report
+
     def memory_report(self) -> dict[str, int]:
         """Estimated bytes per graph of the expanded dataset (G and views)."""
         from ..rdf.memory import dataset_memory_report
@@ -127,6 +178,9 @@ class Sofos:
 
     def drop_views(self) -> None:
         """Drop all materialized views (back to the bare graph G)."""
+        if self._maintainer is not None:
+            self._maintainer.close()
+            self._maintainer = None
         if self._catalog is not None:
             self._catalog.drop_all()
         self._catalog = None

@@ -6,6 +6,7 @@ processing").  Everything above it (SPARQL engine, facets, views, cost
 models) talks to graphs only through this public surface.
 """
 
+from .changelog import ChangeLog, GraphDelta
 from .dataset import Dataset
 from .dictionary import TermDictionary
 from .graph import Graph
@@ -14,7 +15,7 @@ from .memory import dataset_memory_report, dictionary_memory_bytes, \
 from .nquads import parse_nquads, serialize_nquads
 from .namespace import RDF, RDFS, SOFOS, XSD_NS, Namespace, PrefixMap, \
     default_prefixes
-from .ntriples import parse_ntriples, parse_ntriples_file, \
+from .ntriples import parse_ntriples, parse_ntriples_file, parse_term, \
     serialize_ntriples, write_ntriples
 from .stats import GraphStatistics, PredicateProfile
 from .terms import IRI, XSD, BlankNode, Literal, Term, TermOrVariable, \
@@ -23,14 +24,15 @@ from .triples import Quad, Triple, TriplePattern
 from .turtle import parse_turtle, serialize_turtle
 
 __all__ = [
-    "BlankNode", "Dataset", "Graph", "GraphStatistics", "IRI", "Literal",
+    "BlankNode", "ChangeLog", "Dataset", "Graph", "GraphDelta",
+    "GraphStatistics", "IRI", "Literal",
     "Namespace", "PredicateProfile", "PrefixMap", "Quad", "RDF", "RDFS",
     "SOFOS", "Term", "TermDictionary", "TermOrVariable", "Triple",
     "TriplePattern", "Variable", "XSD", "XSD_NS", "default_prefixes",
     "dataset_memory_report", "dictionary_memory_bytes",
     "graph_memory_bytes",
-    "parse_nquads", "parse_ntriples", "parse_ntriples_file", "parse_turtle",
-    "serialize_nquads",
+    "parse_nquads", "parse_ntriples", "parse_ntriples_file", "parse_term",
+    "parse_turtle", "serialize_nquads",
     "serialize_ntriples", "serialize_turtle", "typed_literal",
     "write_ntriples",
 ]

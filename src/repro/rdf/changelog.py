@@ -1,0 +1,157 @@
+"""Change capture: an id-space delta log over graph mutations.
+
+Incremental view maintenance needs to know *what changed* in the base
+graph, not merely *that* it changed (the version counter).  A
+:class:`ChangeLog` is a subscription attached to a :class:`~repro.rdf.graph.Graph`
+that records every inserted and deleted ``(s, p, o)`` id-triple between two
+drain points.  Records are kept *net*: a triple inserted and deleted inside
+one window cancels out, so :meth:`ChangeLog.drain` hands back exactly the
+set difference between the graph at the two versions — the input the
+delta evaluator turns into per-group aggregate adjustments.
+
+The log is deliberately bounded.  When a window accumulates more distinct
+changed triples than its limit — or when the graph is cleared wholesale —
+the log gives up on itemizing and marks the window *truncated*; consumers
+must then fall back to full recomputation.  This mirrors how production
+stores cap their change-data-capture buffers rather than let a runaway
+writer exhaust memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["GraphDelta", "ChangeLog", "DEFAULT_CHANGELOG_LIMIT"]
+
+IdTriple = tuple[int, int, int]
+
+#: Distinct changed triples a log buffers before declaring truncation.
+DEFAULT_CHANGELOG_LIMIT = 1_000_000
+
+
+@dataclass(frozen=True)
+class GraphDelta:
+    """The net difference of a graph between two versions.
+
+    ``inserted`` and ``deleted`` are disjoint id-triple tuples relative to
+    the graph's shared term dictionary.  ``truncated`` means the log lost
+    track (window overflow or ``clear()``); the triple lists are then
+    empty and only a full rebuild can reconcile derived state.
+    """
+
+    from_version: int
+    to_version: int
+    inserted: tuple[IdTriple, ...] = ()
+    deleted: tuple[IdTriple, ...] = ()
+    truncated: bool = False
+
+    @property
+    def empty(self) -> bool:
+        """True when the window carries no information at all."""
+        return not (self.inserted or self.deleted or self.truncated)
+
+    @property
+    def size(self) -> int:
+        """Number of net changed triples in the window."""
+        return len(self.inserted) + len(self.deleted)
+
+    def __repr__(self) -> str:
+        flag = " TRUNCATED" if self.truncated else ""
+        return (f"<GraphDelta v{self.from_version}→v{self.to_version} "
+                f"+{len(self.inserted)} -{len(self.deleted)}{flag}>")
+
+
+class ChangeLog:
+    """One subscriber's buffered window of graph changes.
+
+    Obtained via :meth:`Graph.subscribe`; the graph pushes every mutation
+    into all of its live logs.  ``drain()`` closes the current window and
+    opens the next one.  Logs are independent: two subscribers each see
+    the full change stream, and a graph :meth:`~repro.rdf.graph.Graph.copy`
+    starts with no subscribers of its own (deltas never cross graphs).
+    """
+
+    __slots__ = ("_graph", "_net", "_from_version", "_truncated", "_limit",
+                 "_closed", "__weakref__")
+
+    def __init__(self, graph, limit: int = DEFAULT_CHANGELOG_LIMIT) -> None:
+        if limit <= 0:
+            raise ValueError("change log limit must be positive")
+        self._graph = graph
+        self._net: dict[IdTriple, int] = {}
+        self._from_version = graph.version
+        self._truncated = False
+        self._limit = limit
+        self._closed = False
+
+    # -- recording (called by the graph) ----------------------------------
+
+    def _record(self, sid: int, pid: int, oid: int, sign: int) -> None:
+        if self._truncated:
+            return
+        net = self._net
+        key = (sid, pid, oid)
+        n = net.get(key, 0) + sign
+        if n:
+            net[key] = n
+            if len(net) > self._limit:
+                self._truncate()
+        else:
+            del net[key]
+
+    def _truncate(self) -> None:
+        self._truncated = True
+        self._net.clear()
+
+    # -- consumption -------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def truncated(self) -> bool:
+        """True when the *current* window has overflowed."""
+        return self._truncated
+
+    @property
+    def pending(self) -> int:
+        """Net changed triples buffered in the current window."""
+        return len(self._net)
+
+    def peek(self) -> GraphDelta:
+        """The current window as a delta, without closing it."""
+        return self._snapshot()
+
+    def drain(self) -> GraphDelta:
+        """Close the current window and return its net delta.
+
+        The next window starts at the graph's current version, so a
+        subsequent ``drain()`` reports only changes made after this call.
+        """
+        delta = self._snapshot()
+        self._net = {}
+        self._truncated = False
+        self._from_version = delta.to_version
+        return delta
+
+    def _snapshot(self) -> GraphDelta:
+        net = self._net
+        return GraphDelta(
+            from_version=self._from_version,
+            to_version=self._graph.version,
+            inserted=tuple(t for t, n in net.items() if n > 0),
+            deleted=tuple(t for t, n in net.items() if n < 0),
+            truncated=self._truncated,
+        )
+
+    def close(self) -> None:
+        """Detach from the graph; the log records nothing further."""
+        if not self._closed:
+            self._closed = True
+            self._graph.unsubscribe(self)
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else \
+            ("truncated" if self._truncated else f"{len(self._net)} pending")
+        return f"<ChangeLog from v{self._from_version}, {state}>"

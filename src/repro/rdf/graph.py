@@ -15,8 +15,10 @@ Typical usage::
 
 from __future__ import annotations
 
+import weakref
 from typing import Iterable, Iterator, Optional
 
+from .changelog import ChangeLog, DEFAULT_CHANGELOG_LIMIT
 from .dictionary import TermDictionary
 from .terms import IRI, BlankNode, Literal, Term, Variable
 from .triples import Triple, TriplePattern
@@ -74,7 +76,7 @@ class Graph:
     """
 
     __slots__ = ("_dict", "_spo", "_pos", "_osp", "_size", "_pred_counts",
-                 "_version", "_node_cache", "_hist_cache")
+                 "_version", "_node_cache", "_hist_cache", "_logs")
 
     def __init__(self, dictionary: TermDictionary | None = None,
                  triples: Iterable[Triple] | None = None) -> None:
@@ -89,6 +91,10 @@ class Graph:
         # models probe repeatedly: (version, payload) tuples.
         self._node_cache: dict[bool, tuple[int, set[int]]] = {}
         self._hist_cache: Optional[tuple[int, dict[IRI, int]]] = None
+        # Live change-capture subscriptions (held weakly, so a log whose
+        # owner forgot close() stops costing per-mutation work once it is
+        # collected).  Copies start with no subscribers of their own.
+        self._logs: list[weakref.ref] = []
         if triples is not None:
             for t in triples:
                 self.add(t)
@@ -152,6 +158,9 @@ class Graph:
         self._size += 1
         self._pred_counts[pid] = self._pred_counts.get(pid, 0) + 1
         self._version += 1
+        if self._logs:
+            for log in self._live_logs():
+                log._record(sid, pid, oid, 1)
         return True
 
     def update(self, triples: Iterable[Triple]) -> int:
@@ -171,6 +180,7 @@ class Graph:
         """
         spo, pos, osp = self._spo, self._pos, self._osp
         pred_counts = self._pred_counts
+        logs = self._live_logs() if self._logs else []
         added = 0
         for sid, pid, oid in id_triples:
             if not _index_add(spo, sid, pid, oid):
@@ -179,6 +189,9 @@ class Graph:
             _index_add(osp, oid, sid, pid)
             pred_counts[pid] = pred_counts.get(pid, 0) + 1
             added += 1
+            if logs:
+                for log in logs:
+                    log._record(sid, pid, oid, 1)
         if added:
             self._size += added
             self._version += 1
@@ -192,6 +205,10 @@ class Graph:
         oid = self._dict.lookup(o)
         if sid is None or pid is None or oid is None:
             return False
+        return self.discard_ids(sid, pid, oid)
+
+    def discard_ids(self, sid: int, pid: int, oid: int) -> bool:
+        """Remove one id-triple; returns True when it was present."""
         if not _index_discard(self._spo, sid, pid, oid):
             return False
         _index_discard(self._pos, pid, oid, sid)
@@ -203,16 +220,106 @@ class Graph:
         else:
             del self._pred_counts[pid]
         self._version += 1
+        if self._logs:
+            for log in self._live_logs():
+                log._record(sid, pid, oid, -1)
         return True
 
+    def remove(self, triples: Iterable[Triple]) -> int:
+        """Remove many triples with a single version bump.
+
+        The bulk counterpart of :meth:`discard` (and the mirror image of
+        :meth:`update`): triples whose terms were never interned are
+        skipped, and the version moves once iff anything was removed.
+        """
+        ids: list[tuple[int, int, int]] = []
+        lookup = self._dict.lookup
+        for s, p, o in triples:
+            sid = lookup(s)
+            pid = lookup(p)
+            oid = lookup(o)
+            if sid is None or pid is None or oid is None:
+                continue
+            ids.append((sid, pid, oid))
+        return self.remove_ids_bulk(ids)
+
+    def remove_ids_bulk(self, id_triples: Iterable[tuple[int, int, int]]
+                        ) -> int:
+        """Remove many id-triples with a single version bump.
+
+        The id-native fast path for delta application and view patching;
+        returns the number of triples actually removed (absent triples are
+        skipped), and bumps the version once iff anything was removed.
+        """
+        spo, pos, osp = self._spo, self._pos, self._osp
+        pred_counts = self._pred_counts
+        logs = self._live_logs() if self._logs else []
+        removed = 0
+        for sid, pid, oid in id_triples:
+            if not _index_discard(spo, sid, pid, oid):
+                continue
+            _index_discard(pos, pid, oid, sid)
+            _index_discard(osp, oid, sid, pid)
+            remaining = pred_counts[pid] - 1
+            if remaining:
+                pred_counts[pid] = remaining
+            else:
+                del pred_counts[pid]
+            removed += 1
+            if logs:
+                for log in logs:
+                    log._record(sid, pid, oid, -1)
+        if removed:
+            self._size -= removed
+            self._version += 1
+        return removed
+
     def clear(self) -> None:
-        """Drop all triples (the shared dictionary is left untouched)."""
+        """Drop all triples (the shared dictionary is left untouched).
+
+        Change logs cannot itemize a wholesale clear; their current window
+        is marked truncated so consumers fall back to full recomputation.
+        """
         self._spo.clear()
         self._pos.clear()
         self._osp.clear()
         self._pred_counts.clear()
         self._size = 0
         self._version += 1
+        if self._logs:
+            for log in self._live_logs():
+                log._truncate()
+
+    # -- change capture ------------------------------------------------------
+
+    def _live_logs(self) -> list[ChangeLog]:
+        """Dereference subscriptions, pruning any whose owner was collected."""
+        logs = [ref() for ref in self._logs]
+        live = [log for log in logs if log is not None]
+        if len(live) != len(logs):
+            self._logs = [ref for ref in self._logs if ref() is not None]
+        return live
+
+    def subscribe(self, limit: int = DEFAULT_CHANGELOG_LIMIT) -> ChangeLog:
+        """Attach a :class:`~repro.rdf.changelog.ChangeLog` to this graph.
+
+        The log buffers the net id-space delta of every subsequent
+        mutation until drained.  Call :meth:`ChangeLog.close` (or
+        :meth:`unsubscribe`) when done — live logs cost one dict update
+        per mutated triple.  The graph holds the subscription weakly, so
+        an abandoned log stops recording once garbage-collected.
+        """
+        log = ChangeLog(self, limit)
+        self._logs.append(weakref.ref(log))
+        return log
+
+    def unsubscribe(self, log: ChangeLog) -> bool:
+        """Detach a change log; returns True when it was attached."""
+        for i, ref in enumerate(self._logs):
+            if ref() is log:
+                del self._logs[i]
+                return True
+        return False
 
     def copy(self, dictionary: TermDictionary | None = None) -> "Graph":
         """A triple-level copy, optionally re-encoded against ``dictionary``."""
@@ -225,6 +332,15 @@ class Graph:
         return clone
 
     # -- id-level access (used by the SPARQL executor) -----------------------
+
+    def subject_ids(self):
+        """Live view of the ids appearing in subject position.
+
+        Deterministically ordered (insertion order of first use as a
+        subject); the update-stream generator samples entities from it.
+        Callers must treat the view as read-only.
+        """
+        return self._spo.keys()
 
     def _iter_ids(self) -> Iterator[tuple[int, int, int]]:
         for sid, level1 in self._spo.items():

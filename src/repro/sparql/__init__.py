@@ -11,6 +11,8 @@ from .algebra import translate_group, translate_query
 from .ast import AggregateExpr, Expression, GroupPattern, ProjectionItem, \
     SelectQuery
 from .batch import BindingBatch
+from .delta import DeltaEvaluator, DeltaPlan, GroupAdjustment, \
+    compile_delta_plan
 from .engine import PreparedQuery, QueryEngine
 from .executor import Executor
 from .parser import parse_query
@@ -18,8 +20,9 @@ from .reference import ReferenceExecutor
 from .results import ResultTable
 
 __all__ = [
-    "AggregateExpr", "BindingBatch", "Executor", "Expression",
-    "GroupPattern", "PreparedQuery", "ProjectionItem", "QueryEngine",
-    "ReferenceExecutor", "ResultTable", "SelectQuery", "parse_query",
+    "AggregateExpr", "BindingBatch", "DeltaEvaluator", "DeltaPlan",
+    "Executor", "Expression", "GroupAdjustment", "GroupPattern",
+    "PreparedQuery", "ProjectionItem", "QueryEngine", "ReferenceExecutor",
+    "ResultTable", "SelectQuery", "compile_delta_plan", "parse_query",
     "translate_group", "translate_query",
 ]

@@ -1,0 +1,372 @@
+"""Delta evaluation: per-group aggregate adjustments from changed triples.
+
+Given the net insert/delete set of one base-graph update window (a
+:class:`~repro.rdf.changelog.GraphDelta`), this module computes how every
+group of a facet's aggregation query changes — without re-running the
+query over the whole graph.  The result feeds group-level view patching
+(:mod:`repro.views.maintenance`).
+
+The algorithm is the classic counting/delta-rules decomposition of a
+multiway join, adapted to the batched id-space pipeline.  Writing the
+facet's BGP as ``Q = R₁ ⋈ … ⋈ Rₙ`` (one relation per triple pattern) and
+the signed per-pattern delta as ``ΔRᵢ`` (+1 for inserts, −1 for deletes),
+the post-update state satisfies ``Rᵢ_old = Rᵢ_new − ΔRᵢ``, so
+
+    ΔQ = Q_new − Q_old
+       = Σ_{∅≠S⊆[n]} (−1)^{|S|+1} (⋈_{i∈S} ΔRᵢ) ⋈ (⋈_{i∉S} Rᵢ_new)
+
+— every term is evaluated against the *current* graph only, which is
+exactly what the executor has.  Each subset ``S`` contributes one pass:
+the delta triples matching the patterns in ``S`` are joined symbolically
+into a seed :class:`~repro.sparql.batch.BindingBatch` (one row per
+consistent variable assignment, carrying a signed weight), the remaining
+patterns run through the ordinary batched BGP probes, and the output
+rows' group keys accumulate ``weight`` into Δcount and
+``weight · value(u)`` into Δsum.  Subsets with ``|S| ≥ 2`` are the
+inclusion–exclusion correction for bindings that touch several changed
+triples at once; with small deltas they are near-empty and cheap.
+
+SUM/COUNT/AVG adjustments are exact under both inserts and deletes (AVG
+via its algebraic (sum, count) decomposition).  MIN/MAX are distributive
+only under inserts: the evaluator records per-group candidate values from
+inserted rows, and callers must fall back to recomputation when the
+window deletes anything.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Optional
+
+from ..errors import ExpressionError
+from ..rdf.terms import Variable
+from ..rdf.triples import TriplePattern
+from .algebra import AlgebraOp, BGPOp, FilterOp, translate_group
+from .ast import Expression, VarExpr
+from .batch import BindingBatch
+from .executor import Executor
+from .values import to_number
+
+__all__ = ["DeltaPlan", "GroupAdjustment", "DeltaEvaluator",
+           "KIND_BY_AGGREGATE", "compile_delta_plan"]
+
+IdTriple = tuple[int, int, int]
+
+#: Aggregate kinds the evaluator distinguishes.
+KIND_SUM = "sum"        # SUM facets and the (sum, count) half of AVG
+KIND_COUNT = "count"    # COUNT facets: the measure *is* the row count
+KIND_MINMAX = "minmax"  # MIN/MAX: insert-only candidate maintenance
+
+#: The single source of truth mapping rollup aggregates to their
+#: maintenance kind — shared with the view patcher so the evaluator and
+#: the group index can never disagree on maintainability.
+KIND_BY_AGGREGATE = {"SUM": KIND_SUM, "AVG": KIND_SUM,
+                     "COUNT": KIND_COUNT, "MIN": KIND_MINMAX,
+                     "MAX": KIND_MINMAX}
+
+
+class DeltaPlan:
+    """A facet's aggregation query in delta-evaluable form.
+
+    Only the SOFOS query class is supported: a basic graph pattern
+    (optionally under group-wide FILTERs) grouped on plain variables with
+    one rollup aggregate over a plain variable (or ``COUNT(*)``).
+    Anything richer — OPTIONAL, UNION, BIND, expression operands — is not
+    delta-evaluable and callers must rebuild instead.
+    """
+
+    __slots__ = ("patterns", "filters", "group_variables",
+                 "measure_variable", "kind")
+
+    def __init__(self, patterns: tuple[TriplePattern, ...],
+                 filters: tuple[Expression, ...],
+                 group_variables: tuple[Variable, ...],
+                 measure_variable: Optional[Variable], kind: str) -> None:
+        self.patterns = patterns
+        self.filters = filters
+        self.group_variables = group_variables
+        self.measure_variable = measure_variable
+        self.kind = kind
+
+    def __repr__(self) -> str:
+        return (f"<DeltaPlan {len(self.patterns)} patterns kind={self.kind} "
+                f"groups={[v.name for v in self.group_variables]}>")
+
+
+def compile_delta_plan(facet) -> Optional[DeltaPlan]:
+    """The delta plan for an analytical facet, or None when unsupported.
+
+    ``facet`` is an :class:`~repro.cube.facet.AnalyticalFacet` (typed
+    loosely to keep this module free of cube imports).
+    """
+    op: AlgebraOp = translate_group(facet.pattern)
+    filters: list[Expression] = []
+    while isinstance(op, FilterOp):
+        filters.append(op.expression)
+        op = op.child
+    if not isinstance(op, BGPOp) or not op.patterns:
+        return None
+    kind = KIND_BY_AGGREGATE.get(facet.aggregate.name)
+    if kind is None:
+        return None
+    operand = facet.aggregate.operand
+    if operand is None:
+        measure_var: Optional[Variable] = None
+        if kind != KIND_COUNT:
+            return None  # SUM/MIN/MAX need an operand
+    elif isinstance(operand, VarExpr):
+        measure_var = operand.var
+    else:
+        return None  # expression operands: not delta-evaluable
+    return DeltaPlan(
+        patterns=op.patterns,
+        filters=tuple(filters),
+        group_variables=tuple(facet.grouping_variables),
+        measure_variable=measure_var,
+        kind=kind,
+    )
+
+
+class GroupAdjustment:
+    """The net change of one group across an update window.
+
+    ``count`` is the Δ of the group's row count (``COUNT(*)``); ``value``
+    is the Δ of the measured aggregate — the operand sum for SUM/AVG
+    facets, the bound-operand row count for COUNT facets.  For MIN/MAX
+    facets ``candidates`` holds the measure ids of inserted rows; the
+    stored extremum can only move toward a candidate (insert-only).
+    """
+
+    __slots__ = ("count", "value", "candidates")
+
+    def __init__(self) -> None:
+        self.count: int = 0
+        self.value: int | float = 0
+        self.candidates: list[int] = []
+
+    @property
+    def empty(self) -> bool:
+        return self.count == 0 and self.value == 0 and not self.candidates
+
+    def __repr__(self) -> str:
+        return (f"<GroupAdjustment Δcount={self.count} Δvalue={self.value} "
+                f"candidates={len(self.candidates)}>")
+
+
+class DeltaEvaluator:
+    """Turns a net triple delta into per-group aggregate adjustments.
+
+    Bound to one executor (and therefore one graph + dictionary): the
+    delta's id-triples must be encoded against that dictionary, which is
+    what :meth:`Graph.subscribe` guarantees.
+    """
+
+    def __init__(self, executor: Executor, plan: DeltaPlan,
+                 max_seed_rows: int = 100_000) -> None:
+        self._executor = executor
+        self._plan = plan
+        self._max_seed_rows = max_seed_rows
+        # id → numeric value memo (ids are stable for the graph lifetime).
+        self._num_cache: dict[int, int | float] = {}
+
+    @property
+    def plan(self) -> DeltaPlan:
+        return self._plan
+
+    # -- pattern ↔ delta matching -------------------------------------------
+
+    def _pattern_specs(self) -> Optional[list[list[tuple[bool, object]]]]:
+        """Per-pattern position specs: (is_constant, id-or-variable).
+
+        Returns None when a pattern constant was never interned — then
+        neither the old nor the new graph (nor the delta) can match it, so
+        the whole query is empty in both states and ΔQ = ∅.
+        """
+        lookup = self._executor._dict.lookup
+        specs: list[list[tuple[bool, object]]] = []
+        for pattern in self._plan.patterns:
+            spec: list[tuple[bool, object]] = []
+            for position in pattern:
+                if isinstance(position, Variable):
+                    spec.append((False, position))
+                else:
+                    tid = lookup(position)
+                    if tid is None:
+                        return None
+                    spec.append((True, tid))
+            specs.append(spec)
+        return specs
+
+    @staticmethod
+    def _match(spec: list[tuple[bool, object]], triple: IdTriple
+               ) -> Optional[dict[Variable, int]]:
+        """The variable binding of one delta triple against one pattern."""
+        binding: dict[Variable, int] = {}
+        for (is_const, payload), tid in zip(spec, triple):
+            if is_const:
+                if payload != tid:
+                    return None
+            else:
+                prev = binding.get(payload)  # type: ignore[arg-type]
+                if prev is None:
+                    binding[payload] = tid  # type: ignore[index]
+                elif prev != tid:
+                    return None
+        return binding
+
+    # -- the inclusion–exclusion sweep --------------------------------------
+
+    def adjustments(self, inserted: tuple[IdTriple, ...],
+                    deleted: tuple[IdTriple, ...]
+                    ) -> Optional[dict[tuple, GroupAdjustment]]:
+        """Per-group adjustments keyed on the full grouping-variable ids.
+
+        Keys are id tuples over ``plan.group_variables`` in facet order
+        (the finest grain); coarser views roll them up by projection.
+        Returns ``None`` when the delta is not incrementally evaluable
+        (non-numeric measure, or a seed blow-up past ``max_seed_rows``) —
+        the caller must rebuild.  An empty dict means no group changed.
+        """
+        plan = self._plan
+        specs = self._pattern_specs()
+        result: dict[tuple, GroupAdjustment] = {}
+        if specs is None:
+            return result
+
+        signed = [(t, 1) for t in inserted] + [(t, -1) for t in deleted]
+        matches: list[list[tuple[dict[Variable, int], int]]] = []
+        for spec in specs:
+            per_pattern = []
+            for triple, sign in signed:
+                binding = self._match(spec, triple)
+                if binding is not None:
+                    per_pattern.append((binding, sign))
+            matches.append(per_pattern)
+        touched = [i for i, m in enumerate(matches) if m]
+        if not touched:
+            return result
+
+        minmax = plan.kind == KIND_MINMAX
+        for size in range(1, len(touched) + 1):
+            subset_sign = 1 if size % 2 == 1 else -1
+            for subset in combinations(touched, size):
+                seed, weights = self._seed_for(subset, matches, subset_sign)
+                if seed is None:
+                    return None  # seed blow-up
+                if not len(seed):
+                    continue
+                rest = tuple(p for j, p in enumerate(plan.patterns)
+                             if j not in subset)
+                op: AlgebraOp = BGPOp(rest)
+                for expression in plan.filters:
+                    op = FilterOp(expression, op)
+                out = self._executor.run_batch(op, seed)
+                ok = self._accumulate(result, out, weights,
+                                      collect_candidates=minmax and size == 1)
+                if not ok:
+                    return None  # non-numeric measure
+        return {key: adj for key, adj in result.items() if not adj.empty}
+
+    def _seed_for(self, subset: tuple[int, ...],
+                  matches: list[list[tuple[dict[Variable, int], int]]],
+                  subset_sign: int
+                  ) -> tuple[Optional[BindingBatch], list[int]]:
+        """The seed batch for one pattern subset, plus per-row weights.
+
+        Joins the subset patterns' delta matches on their shared
+        variables; identical assignments merge, summing their weights
+        (``subset_sign × Π pattern signs``).
+        """
+        combos: list[tuple[dict[Variable, int], int]] = [({}, subset_sign)]
+        bound: set[Variable] = set()
+        for i in subset:
+            per_pattern = matches[i]
+            if not combos or not per_pattern:
+                combos = []
+                break
+            # Hash-join the accumulated combos with this pattern's delta
+            # matches on their shared variables, so subset seeding costs
+            # output size — not the cross product of the delta lists.
+            shared = [v for v in per_pattern[0][0] if v in bound]
+            by_key: dict[tuple, list[tuple[dict[Variable, int], int]]] = {}
+            for delta_binding, sign in per_pattern:
+                key = tuple(delta_binding[v] for v in shared)
+                by_key.setdefault(key, []).append((delta_binding, sign))
+            extended: list[tuple[dict[Variable, int], int]] = []
+            for binding, weight in combos:
+                bucket = by_key.get(tuple(binding[v] for v in shared))
+                if not bucket:
+                    continue
+                for delta_binding, sign in bucket:
+                    merged = dict(binding)
+                    merged.update(delta_binding)
+                    extended.append((merged, weight * sign))
+                if len(extended) > self._max_seed_rows:
+                    return None, []
+            combos = extended
+            for var in per_pattern[0][0]:
+                bound.add(var)
+        if not combos:
+            return BindingBatch.unit().gather([]), []
+
+        variables = tuple(combos[0][0])
+        weight_by_row: dict[tuple, int] = {}
+        for binding, weight in combos:
+            key = tuple(binding[v] for v in variables)
+            weight_by_row[key] = weight_by_row.get(key, 0) + weight
+        rows = [(key, w) for key, w in weight_by_row.items() if w]
+        columns: list[list] = [[] for _ in variables]
+        weights: list[int] = []
+        for key, weight in rows:
+            for col, tid in zip(columns, key):
+                col.append(tid)
+            weights.append(weight)
+        seed = BindingBatch(variables, columns, list(range(len(rows))))
+        return seed, weights
+
+    def _accumulate(self, result: dict[tuple, GroupAdjustment],
+                    out: BindingBatch, weights: list[int],
+                    collect_candidates: bool) -> bool:
+        """Fold one pass's output rows into the adjustment table."""
+        plan = self._plan
+        n = len(out)
+        if not n:
+            return True
+        keys = out.key_tuples(plan.group_variables)
+        measure_col = None
+        if plan.measure_variable is not None:
+            k = out.index.get(plan.measure_variable)
+            measure_col = out.columns[k] if k is not None else [None] * n
+        prov = out.prov
+        numbers = self._num_cache
+        decode = self._executor.decode_id
+        is_sum = plan.kind == KIND_SUM
+        for row in range(n):
+            weight = weights[prov[row]]
+            key = keys[row]
+            adjustment = result.get(key)
+            if adjustment is None:
+                adjustment = GroupAdjustment()
+                result[key] = adjustment
+            adjustment.count += weight
+            if is_sum:
+                tid = measure_col[row]  # type: ignore[index]
+                if tid is None:
+                    return False  # unbound measure: not incrementalizable
+                value = numbers.get(tid)
+                if value is None:
+                    try:
+                        value = to_number(decode(tid))
+                    except ExpressionError:
+                        return False  # non-numeric measure
+                    numbers[tid] = value
+                adjustment.value += weight * value
+            elif plan.kind == KIND_COUNT:
+                if plan.measure_variable is None \
+                        or measure_col[row] is not None:  # type: ignore[index]
+                    adjustment.value += weight
+            elif collect_candidates and weight > 0:
+                tid = measure_col[row]  # type: ignore[index]
+                if tid is not None:
+                    adjustment.candidates.append(tid)
+        return True

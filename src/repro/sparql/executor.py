@@ -139,6 +139,17 @@ class Executor:
         """Evaluate ``op`` and return the raw id-space result batch."""
         return self._eval(op, self._seed_batch(seed))
 
+    def run_batch(self, op: AlgebraOp, seed: BindingBatch) -> BindingBatch:
+        """Evaluate ``op`` under an explicit id-space seed batch.
+
+        The result batch's provenance array maps every output row back to
+        the seed row it extends.  This is the delta-evaluation entry
+        point: incremental view maintenance seeds the pipeline with
+        batches derived from changed triples and reads the provenance to
+        attribute matches (and their signed weights) to delta rows.
+        """
+        return self._eval(op, seed)
+
     def _seed_batch(self, seed: Binding | None) -> BindingBatch:
         if not seed:
             return BindingBatch.unit()

@@ -36,6 +36,7 @@ class MaterializedView:
     nodes: int
     build_seconds: float
     base_version: int = 0
+    maintain_seconds: float = 0.0
 
     @property
     def mask(self) -> int:
@@ -55,6 +56,10 @@ class ViewCatalog:
         self._engine = engine if engine is not None \
             else QueryEngine(dataset.default)
         self._entries: dict[int, MaterializedView] = {}
+        # Group indexes recovered by persistence (mask → GroupIndex); a
+        # ViewMaintainer attached to this catalog adopts them so loaded
+        # views can be patched without a fresh view-graph scan.
+        self.restored_group_indexes: dict[int, object] = {}
 
     @property
     def dataset(self) -> Dataset:
@@ -102,6 +107,7 @@ class ViewCatalog:
     def drop(self, view: ViewDefinition) -> bool:
         """Drop a view's graph and catalog entry."""
         self._entries.pop(view.mask, None)
+        self.restored_group_indexes.pop(view.mask, None)
         return self._dataset.drop(view.iri)
 
     def drop_all(self) -> None:
@@ -126,6 +132,36 @@ class ViewCatalog:
                 if (required_mask & mask) == required_mask]
 
     # -- maintenance -----------------------------------------------------------
+
+    @property
+    def base_version(self) -> int:
+        """The base graph's current mutation counter."""
+        return self._engine.graph.version
+
+    def note_maintained(self, view: ViewDefinition, *, groups: int,
+                        triples: int, nodes: int,
+                        seconds: float = 0.0) -> MaterializedView:
+        """Record that a view was brought current by incremental patching.
+
+        The entry keeps its original ``build_seconds`` (the full-rebuild
+        cost the profiler reasons about) and accumulates patching time in
+        ``maintain_seconds``; ``base_version`` snaps to the current base
+        graph so the view reads as fresh.
+        """
+        entry = self._entries.get(view.mask)
+        if entry is None:
+            raise ViewError(f"view {view.label!r} is not materialized")
+        updated = MaterializedView(
+            definition=entry.definition,
+            groups=groups,
+            triples=triples,
+            nodes=nodes,
+            build_seconds=entry.build_seconds,
+            base_version=self._engine.graph.version,
+            maintain_seconds=entry.maintain_seconds + seconds,
+        )
+        self._entries[view.mask] = updated
+        return updated
 
     def is_stale(self, view: ViewDefinition) -> bool:
         """True when the base graph changed after this view was built.
@@ -155,6 +191,9 @@ class ViewCatalog:
         target = self._dataset.graph(view.iri)
         target.clear()
         del self._entries[view.mask]
+        # The rebuild mints fresh group nodes; any restored group index
+        # for this view now references dropped ids and must not be adopted.
+        self.restored_group_indexes.pop(view.mask, None)
         stats = materialize_view(view, self._engine, target)
         entry = MaterializedView(
             definition=view,

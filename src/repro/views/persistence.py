@@ -4,27 +4,112 @@ The offline module "precomputes and stores the results of analytical
 queries offline to serve new incoming queries faster"; this module makes
 the storing literal.  ``save_expanded`` writes one N-Quads file holding
 the base graph and every materialized view graph, next to a JSON catalog
-manifest (per-view statistics, base version, and the facet's identity for
-validation).  ``load_expanded`` reverses it against the same facet.
+manifest (per-view statistics, staleness, the per-view group index, and
+the facet's identity for validation).  ``load_expanded`` reverses it
+against the same facet.
+
+Format history:
+
+* **v1** stored only the raw ``base_version`` counter, which is
+  meaningless in a fresh process; loading re-stamped every entry as
+  current and thereby *erased* recorded staleness.
+* **v2** records whether each view was stale relative to the base graph
+  at save time (restored views stay stale until refreshed or patched)
+  plus the view's group index — group-key terms, blank-node label, and
+  running count/value — so an attached
+  :class:`~repro.views.maintenance.ViewMaintainer` can patch loaded views
+  without re-scanning their graphs.  v1 manifests still load with the old
+  semantics.
 """
 
 from __future__ import annotations
 
 import json
 import os
+from typing import Optional
 
-from ..errors import ViewError
+from ..errors import ExpressionError, ParseError, TermError, ViewError
 from ..rdf.dataset import Dataset
+from ..rdf.graph import Graph
 from ..rdf.nquads import parse_nquads, serialize_nquads
+from ..rdf.ntriples import parse_term
+from ..rdf.terms import typed_literal
 from ..cube.facet import AnalyticalFacet
 from ..cube.view import ViewDefinition
+from ..sparql.values import to_number
 from .catalog import MaterializedView, ViewCatalog
+from .maintenance import GroupIndex, GroupState, KIND_MINMAX, aggregate_kind
 
 __all__ = ["save_expanded", "load_expanded", "DATASET_FILE", "MANIFEST_FILE"]
 
 DATASET_FILE = "expanded.nq"
 MANIFEST_FILE = "catalog.json"
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_SUPPORTED_FORMATS = (1, 2)
+
+
+def _serialize_group_index(entry: MaterializedView, catalog: ViewCatalog
+                           ) -> Optional[dict]:
+    """The group index of one view as JSON-safe n3 terms, or None."""
+    view = entry.definition
+    try:
+        graph = catalog.graph_of(view)
+        index = GroupIndex.from_graph(view, graph)
+    except ViewError:
+        return None
+    decode = graph.dictionary.decode
+    groups = []
+    for key, state in index.groups.items():
+        groups.append({
+            "node": decode(state.node_id).n3(),
+            "key": [None if tid is None else decode(tid).n3()
+                    for tid in key],
+            "count": state.count,
+            "value": decode(state.value_id).n3(),
+        })
+    return {"kind": index.kind, "groups": groups}
+
+
+def _restore_group_index(payload: dict, view: ViewDefinition,
+                         graph: Graph) -> Optional[GroupIndex]:
+    """Rebuild a :class:`GroupIndex` from its manifest payload.
+
+    Returns None when anything fails to resolve against the loaded
+    dictionary — the maintainer then simply re-scans the view graph.
+    """
+    kind = payload.get("kind")
+    if kind != aggregate_kind(view.facet.aggregate.name):
+        return None
+    lookup = graph.dictionary.lookup
+    index = GroupIndex(kind)
+    try:
+        for item in payload.get("groups", ()):
+            node_id = lookup(parse_term(item["node"]))
+            value_term = parse_term(item["value"])
+            value_id = lookup(value_term)
+            count = int(item["count"])
+            count_id = lookup(typed_literal(count))
+            if node_id is None or value_id is None or count_id is None:
+                return None
+            key_parts = []
+            for text in item["key"]:
+                if text is None:
+                    key_parts.append(None)
+                    continue
+                tid = lookup(parse_term(text))
+                if tid is None:
+                    return None
+                key_parts.append(tid)
+            value = None if kind == KIND_MINMAX else to_number(value_term)
+            key = tuple(key_parts)
+            if key in index.groups:
+                return None
+            index.groups[key] = GroupState(node_id, count, value, value_id,
+                                           count_id)
+    except (ExpressionError, KeyError, ParseError, TermError, TypeError,
+            ValueError):
+        return None
+    return index
 
 
 def save_expanded(catalog: ViewCatalog, directory: str) -> None:
@@ -34,6 +119,7 @@ def save_expanded(catalog: ViewCatalog, directory: str) -> None:
               encoding="utf-8") as handle:
         handle.write(serialize_nquads(catalog.dataset))
 
+    current = catalog.base_version
     entries = []
     facet_name = None
     for entry in catalog:
@@ -45,7 +131,10 @@ def save_expanded(catalog: ViewCatalog, directory: str) -> None:
             "triples": entry.triples,
             "nodes": entry.nodes,
             "build_seconds": entry.build_seconds,
+            "maintain_seconds": entry.maintain_seconds,
             "base_version": entry.base_version,
+            "stale": entry.base_version != current,
+            "group_index": _serialize_group_index(entry, catalog),
         })
     manifest = {
         "format": _FORMAT_VERSION,
@@ -64,7 +153,10 @@ def load_expanded(directory: str, facet: AnalyticalFacet
 
     The manifest's facet name must match ``facet.name`` — loading a
     catalog against the wrong facet would silently route queries to
-    incompatible encodings.
+    incompatible encodings.  Views recorded stale at save time are
+    restored stale (sentinel ``base_version = -1``); everything else
+    aligns with the loaded graph's version.  Restored group indexes are
+    left on ``catalog.restored_group_indexes`` for a maintainer to adopt.
     """
     manifest_path = os.path.join(directory, MANIFEST_FILE)
     dataset_path = os.path.join(directory, DATASET_FILE)
@@ -73,9 +165,9 @@ def load_expanded(directory: str, facet: AnalyticalFacet
                         f"dataset ({DATASET_FILE} + {MANIFEST_FILE})")
     with open(manifest_path, encoding="utf-8") as handle:
         manifest = json.load(handle)
-    if manifest.get("format") != _FORMAT_VERSION:
-        raise ViewError(f"unsupported catalog format "
-                        f"{manifest.get('format')!r}")
+    fmt = manifest.get("format")
+    if fmt not in _SUPPORTED_FORMATS:
+        raise ViewError(f"unsupported catalog format {fmt!r}")
     saved_facet = manifest.get("facet")
     if saved_facet is not None and saved_facet != facet.name:
         raise ViewError(
@@ -86,22 +178,31 @@ def load_expanded(directory: str, facet: AnalyticalFacet
         dataset = parse_nquads(handle.read())
 
     catalog = ViewCatalog(dataset)
-    # Loaded graphs are snapshots: align entry versions with the loaded
-    # base graph so nothing is spuriously stale.
+    # Loaded graphs are snapshots: fresh-at-save entries align with the
+    # loaded base graph's version; stale-at-save entries (v2 only) keep a
+    # sentinel version so they still register stale.
     version = dataset.default.version
     for item in manifest["views"]:
         definition = ViewDefinition(facet, int(item["mask"]))
-        if dataset.get_graph(definition.iri) is None:
+        graph = dataset.get_graph(definition.iri)
+        if graph is None:
             raise ViewError(
                 f"manifest lists view {item['label']!r} but the dataset "
                 "file has no graph named " + definition.iri.value)
+        stale = fmt >= 2 and bool(item.get("stale", False))
         entry = MaterializedView(
             definition=definition,
             groups=int(item["groups"]),
             triples=int(item["triples"]),
             nodes=int(item["nodes"]),
             build_seconds=float(item["build_seconds"]),
-            base_version=version,
+            base_version=-1 if stale else version,
+            maintain_seconds=float(item.get("maintain_seconds", 0.0)),
         )
         catalog._entries[definition.mask] = entry
+        index_payload = item.get("group_index")
+        if fmt >= 2 and index_payload is not None:
+            index = _restore_group_index(index_payload, definition, graph)
+            if index is not None:
+                catalog.restored_group_indexes[definition.mask] = index
     return dataset, catalog

@@ -25,22 +25,40 @@ def _default_ranking(entry: MaterializedView) -> float:
 
 
 class ViewRouter:
-    """Picks the cheapest usable materialized view, if any."""
+    """Picks the cheapest usable materialized view, if any.
+
+    ``skip_stale`` excludes views whose base graph moved on since they
+    were built: without a refresher in the loop, routing to a stale view
+    silently serves frozen data, so callers that cannot repair views
+    (:class:`~repro.core.online.OnlineModule` without an auto-refresh or
+    maintainer wired) enable it by default and fall back to the base
+    graph instead.
+    """
 
     def __init__(self, catalog: ViewCatalog,
-                 ranking: Ranking | None = None) -> None:
+                 ranking: Ranking | None = None,
+                 skip_stale: bool = False) -> None:
         self._catalog = catalog
         self._ranking = ranking if ranking is not None else _default_ranking
+        self._skip_stale = skip_stale
 
     @property
     def catalog(self) -> ViewCatalog:
         return self._catalog
+
+    @property
+    def skip_stale(self) -> bool:
+        return self._skip_stale
 
     def candidates(self, query: AnalyticalQuery) -> list[MaterializedView]:
         """All usable views, cheapest first (deterministic tie-break)."""
         usable = [entry for entry in
                   self._catalog.covering(query.required_mask)
                   if entry.definition.facet == query.facet]
+        if self._skip_stale:
+            current = self._catalog.base_version
+            usable = [entry for entry in usable
+                      if entry.base_version == current]
         usable.sort(key=lambda e: (self._ranking(e), e.mask))
         return usable
 

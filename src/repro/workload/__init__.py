@@ -1,9 +1,11 @@
-"""Workload generation: random analytical queries and text templates."""
+"""Workload generation: analytical queries, text templates, update streams."""
 
 from .generator import WorkloadConfig, WorkloadGenerator, dimension_values
 from .templates import QueryTemplate, render_analytical_query
+from .updates import UpdateBatch, UpdateStreamConfig, UpdateStreamGenerator
 
 __all__ = [
-    "QueryTemplate", "WorkloadConfig", "WorkloadGenerator",
+    "QueryTemplate", "UpdateBatch", "UpdateStreamConfig",
+    "UpdateStreamGenerator", "WorkloadConfig", "WorkloadGenerator",
     "dimension_values", "render_analytical_query",
 ]

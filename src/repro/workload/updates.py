@@ -1,0 +1,173 @@
+"""Insert/delete stream generation: the maintenance workload.
+
+The query workload (:mod:`repro.workload.generator`) exercises the read
+side; this module exercises the *write* side — deterministic streams of
+base-graph updates that drive the incremental-maintenance scenario
+(:mod:`repro.views.maintenance`) and its benchmark suite.
+
+Updates are sampled from the live graph so they always make sense:
+
+* **entity-clone inserts** pick an existing subject, mint a sibling IRI,
+  and replay its outgoing triples — a new observation that joins into
+  facet patterns exactly like the original did (growing existing groups,
+  and occasionally whole new ones when chained entities are cloned);
+* **entity deletes** drop a subject's entire outgoing star (killing rare
+  groups outright);
+* **triple deletes** remove single facts, leaving partial entities behind
+  (bindings silently disappear from some patterns but not others).
+
+Batches are applied with the bulk ``Graph.update`` / ``Graph.remove``
+paths, so each batch costs at most two version bumps and shows up as one
+coherent window in any attached change log.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import WorkloadError
+from ..rdf.graph import Graph
+from ..rdf.terms import IRI
+from ..rdf.triples import Triple
+
+__all__ = ["UpdateStreamConfig", "UpdateBatch", "UpdateStreamGenerator"]
+
+
+@dataclass(frozen=True)
+class UpdateStreamConfig:
+    """Shape parameters of a generated update stream."""
+
+    batches: int = 5
+    operations_per_batch: int = 10
+    insert_probability: float = 0.5
+    #: Among deletes: chance of dropping a whole entity vs a single triple.
+    entity_delete_probability: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.batches < 0:
+            raise WorkloadError("batch count must be non-negative")
+        if self.operations_per_batch <= 0:
+            raise WorkloadError("operations per batch must be positive")
+        for name in ("insert_probability", "entity_delete_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise WorkloadError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class UpdateBatch:
+    """One applied-together group of inserts and deletes."""
+
+    index: int
+    inserts: tuple[Triple, ...]
+    deletes: tuple[Triple, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.inserts) + len(self.deletes)
+
+    def apply_to(self, graph: Graph) -> tuple[int, int]:
+        """Apply to a graph (bulk paths, ≤ 2 version bumps); returns
+        (triples added, triples removed)."""
+        removed = graph.remove(self.deletes)
+        added = graph.update(self.inserts)
+        return added, removed
+
+    def __repr__(self) -> str:
+        return (f"<UpdateBatch #{self.index} +{len(self.inserts)} "
+                f"-{len(self.deletes)}>")
+
+
+class UpdateStreamGenerator:
+    """Generates deterministic update batches against a live graph.
+
+    The generator samples each batch from the graph's *current* state, so
+    deletes always reference present triples; callers must apply a batch
+    (to this graph — and to any shadow graphs kept for comparison) before
+    requesting the next one.  :meth:`stream` does the apply-then-generate
+    loop in one call.
+    """
+
+    def __init__(self, graph: Graph, config: UpdateStreamConfig | None = None
+                 ) -> None:
+        self._graph = graph
+        self._config = config if config is not None else UpdateStreamConfig()
+        self._rng = random.Random(self._config.seed)
+        self._clone_counter = 0
+        self._batch_counter = 0
+
+    @property
+    def config(self) -> UpdateStreamConfig:
+        return self._config
+
+    def next_batch(self) -> UpdateBatch:
+        """Sample one batch from the graph's current state (not applied)."""
+        config = self._config
+        rng = self._rng
+        # The graph is stable for the whole batch, so one subject snapshot
+        # serves every operation (sampling stays O(ops), not O(ops·|S|)).
+        subjects = list(self._graph.subject_ids())
+        inserts: list[Triple] = []
+        deletes: set[Triple] = set()
+        for _ in range(config.operations_per_batch):
+            if rng.random() < config.insert_probability:
+                inserts.extend(self._clone_entity(rng, subjects))
+            elif rng.random() < config.entity_delete_probability:
+                deletes.update(self._entity_star(rng, subjects))
+            else:
+                triple = self._random_triple(rng, subjects)
+                if triple is not None:
+                    deletes.add(triple)
+        batch = UpdateBatch(
+            index=self._batch_counter,
+            inserts=tuple(inserts),
+            deletes=tuple(sorted(deletes)),
+        )
+        self._batch_counter += 1
+        return batch
+
+    def stream(self, apply: bool = True) -> Iterator[UpdateBatch]:
+        """Yield ``config.batches`` batches, applying each before the next.
+
+        With ``apply=False`` the caller owns application; deletes in later
+        batches are then only guaranteed valid if the caller applies every
+        batch (to this generator's graph) before advancing the iterator.
+        """
+        for _ in range(self._config.batches):
+            batch = self.next_batch()
+            if apply:
+                batch.apply_to(self._graph)
+            yield batch
+
+    # -- sampling internals --------------------------------------------------
+
+    def _entity_star(self, rng: random.Random,
+                     subjects: list[int]) -> list[Triple]:
+        """All outgoing triples of one random subject."""
+        if not subjects:
+            return []
+        sid = rng.choice(subjects)
+        decode = self._graph.dictionary.decode
+        return [Triple(decode(s), decode(p), decode(o))
+                for s, p, o in self._graph.match_ids(sid, None, None)]
+
+    def _clone_entity(self, rng: random.Random,
+                      subjects: list[int]) -> list[Triple]:
+        """A fresh sibling of a random subject, replaying its star."""
+        star = self._entity_star(rng, subjects)
+        if not star or not isinstance(star[0].s, IRI):
+            return []
+        self._clone_counter += 1
+        clone = IRI(f"{star[0].s.value}--u{self._clone_counter}")
+        return [Triple(clone, t.p, t.o) for t in star]
+
+    def _random_triple(self, rng: random.Random,
+                       subjects: list[int]) -> Triple | None:
+        """One random present triple (uniform over a random subject's star)."""
+        star = self._entity_star(rng, subjects)
+        if not star:
+            return None
+        return rng.choice(star)

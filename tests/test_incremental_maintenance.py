@@ -1,0 +1,510 @@
+"""Incremental view maintenance: delta evaluation, patching, and parity.
+
+The backbone is a *twin-world* discipline: two identical graphs receive
+the same update streams, one catalog is maintained incrementally through
+a :class:`ViewMaintainer`, the other by full ``refresh_stale()`` rebuilds
+— and after every window the view graphs must be triple-for-triple equal
+up to blank-node labels (group birth, death, and AVG's (sum, count)
+roll-up exactness included), with routed answers matching the seed
+:class:`ReferenceExecutor` on the base graph.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.core import OnlineModule, Sofos
+from repro.cube import AnalyticalFacet, AnalyticalQuery, ViewDefinition, \
+    ViewLattice
+from repro.errors import ReproError
+from repro.rdf import Dataset, Graph, Namespace, Triple, typed_literal
+from repro.sparql import QueryEngine, ReferenceExecutor, ResultTable
+from repro.sparql.delta import DeltaEvaluator, compile_delta_plan
+from repro.views import ViewCatalog, ViewMaintainer
+from repro.workload import UpdateStreamConfig, UpdateStreamGenerator
+
+from tests.conftest import POPULATION_AVG_FACET_QUERY, \
+    POPULATION_FACET_QUERY, build_population_graph
+
+EX = Namespace("http://example.org/")
+
+PEAK_FACET_QUERY = """
+PREFIX ex: <http://example.org/>
+SELECT ?lang ?year (MAX(?pop) AS ?peak) WHERE {
+  ?obs ex:ofCountry ?c ; ex:year ?year ; ex:population ?pop .
+  ?c ex:language ?lang .
+} GROUP BY ?lang ?year
+"""
+
+OPTIONAL_FACET_QUERY = """
+PREFIX ex: <http://example.org/>
+SELECT ?lang (SUM(?pop) AS ?total) WHERE {
+  ?obs ex:ofCountry ?c ; ex:population ?pop .
+  ?c ex:language ?lang .
+  OPTIONAL { ?c ex:name ?name }
+} GROUP BY ?lang
+"""
+
+
+def group_signatures(graph: Graph) -> Counter:
+    """Multiset of per-group (p, o) signatures: equality modulo bnode labels."""
+    by_node: dict = {}
+    for t in graph:
+        by_node.setdefault(t.s, []).append((t.p, t.o))
+    return Counter(frozenset(po) for po in by_node.values())
+
+
+def assert_view_parity(catalog_a: ViewCatalog, catalog_b: ViewCatalog,
+                       views) -> None:
+    for view in views:
+        got = group_signatures(catalog_a.graph_of(view))
+        want = group_signatures(catalog_b.graph_of(view))
+        assert got == want, (view.label, got - want, want - got)
+
+
+def twin_worlds(facet: AnalyticalFacet, graph_builder, views=None):
+    """Two identical worlds over ``facet``: (incremental, rebuild) sides."""
+    worlds = []
+    for _ in range(2):
+        graph = graph_builder()
+        catalog = ViewCatalog(Dataset.wrap(graph))
+        lattice = ViewLattice(facet)
+        selected = list(lattice) if views is None else [
+            ViewDefinition(facet, mask) for mask in views]
+        for view in selected:
+            catalog.materialize(view)
+        worlds.append((graph, catalog, selected))
+    return worlds
+
+
+def standard_mutation(graph: Graph) -> None:
+    """Insert into existing + brand-new groups, delete a group's last row."""
+    graph.update([
+        Triple(EX.obs8, EX.ofCountry, EX.france),
+        Triple(EX.obs8, EX.year, typed_literal(2019)),
+        Triple(EX.obs8, EX.population, typed_literal(5)),
+        # a new country + language + observation: the delta binding spans
+        # several patterns at once (exercises the inclusion–exclusion
+        # correction, not just singleton passes)
+        Triple(EX.obs9, EX.ofCountry, EX.spain),
+        Triple(EX.obs9, EX.year, typed_literal(2021)),
+        Triple(EX.obs9, EX.population, typed_literal(47)),
+        Triple(EX.spain, EX.language, EX.spanish),
+    ])
+    graph.remove([
+        Triple(EX.obs5, EX.ofCountry, EX.canada),
+        Triple(EX.obs5, EX.year, typed_literal(2018)),
+        Triple(EX.obs5, EX.population, typed_literal(36)),
+        # kills the (italian, 2019) group outright
+        Triple(EX.obs7, EX.ofCountry, EX.italy),
+    ])
+
+
+class TestDeltaEvaluator:
+    def brute_force(self, facet, graph, mutate):
+        """Per-group (Δcount, Δmeasure) by recomputing before/after."""
+        def state():
+            engine = QueryEngine(graph)
+            table = engine.query(facet.binding_query())
+            columns = {v: i for i, v in enumerate(table.variables)}
+            counts: Counter = Counter()
+            sums: Counter = Counter()
+            measure = facet.aggregate.operand.var
+            for row in table.rows:
+                key = tuple(row[columns[v]]
+                            for v in facet.grouping_variables)
+                counts[key] += 1
+                sums[key] += row[columns[measure]].to_python()
+            return counts, sums
+
+        counts_before, sums_before = state()
+        mutate(graph)
+        counts_after, sums_after = state()
+        expected = {}
+        for key in set(counts_before) | set(counts_after):
+            dcount = counts_after[key] - counts_before[key]
+            dsum = sums_after[key] - sums_before[key]
+            if dcount or dsum:
+                expected[key] = (dcount, dsum)
+        return expected
+
+    def test_adjustments_match_brute_force(self, population_facet):
+        graph = build_population_graph()
+        engine = QueryEngine(graph)
+        log = graph.subscribe()
+        expected = self.brute_force(population_facet, graph,
+                                    standard_mutation)
+        delta = log.drain()
+        evaluator = DeltaEvaluator(engine.executor,
+                                   compile_delta_plan(population_facet))
+        adjustments = evaluator.adjustments(delta.inserted, delta.deleted)
+        decode = engine.executor.decode_id
+        got = {tuple(decode(i) for i in key): (a.count, a.value)
+               for key, a in adjustments.items()}
+        assert got == expected
+
+    def test_empty_delta_empty_adjustments(self, population_facet):
+        graph = build_population_graph()
+        engine = QueryEngine(graph)
+        evaluator = DeltaEvaluator(engine.executor,
+                                   compile_delta_plan(population_facet))
+        assert evaluator.adjustments((), ()) == {}
+
+    def test_irrelevant_delta_ignored(self, population_facet):
+        graph = build_population_graph()
+        engine = QueryEngine(graph)
+        log = graph.subscribe()
+        graph.add(Triple(EX.meta, EX.comment, typed_literal("noise")))
+        delta = log.drain()
+        evaluator = DeltaEvaluator(engine.executor,
+                                   compile_delta_plan(population_facet))
+        assert evaluator.adjustments(delta.inserted, delta.deleted) == {}
+
+    def test_optional_facet_not_plannable(self):
+        facet = AnalyticalFacet.from_query("opt", OPTIONAL_FACET_QUERY)
+        assert compile_delta_plan(facet) is None
+
+
+class TestViewMaintainerPatching:
+    @pytest.mark.parametrize("facet_query,name", [
+        (POPULATION_FACET_QUERY, "pop_sum"),
+        (POPULATION_AVG_FACET_QUERY, "pop_avg"),
+    ])
+    def test_full_lattice_parity(self, facet_query, name):
+        facet = AnalyticalFacet.from_query(name, facet_query)
+        (g1, cat1, views), (g2, cat2, _) = twin_worlds(
+            facet, build_population_graph)
+        maintainer = ViewMaintainer(cat1, max_delta_fraction=1.0)
+        standard_mutation(g1)
+        standard_mutation(g2)
+        report = maintainer.synchronize()
+        assert len(report.patched) == len(views)
+        assert report.rebuilt == []
+        cat2.refresh_stale()
+        assert_view_parity(cat1, cat2, views)
+        online = OnlineModule(cat1)
+        for mask in range(facet.lattice_size):
+            query = AnalyticalQuery(facet, mask)
+            answer = online.answer(query)
+            assert answer.used_view is not None
+            assert answer.table.same_solutions(
+                online.answer_from_base(query).table)
+
+    def test_group_birth_and_death_reported(self, population_facet):
+        (g1, cat1, views), _ = twin_worlds(
+            population_facet, build_population_graph, views=[0b11])
+        maintainer = ViewMaintainer(cat1, max_delta_fraction=1.0)
+        before = cat1.get(views[0]).groups
+        standard_mutation(g1)
+        report = maintainer.synchronize()
+        stats = report.views[0]
+        assert stats.patched
+        assert stats.groups_created == 1   # (spanish, 2021)
+        assert stats.groups_deleted == 2   # (italian, 2019), (english, 2018)
+        assert stats.groups_updated >= 1   # (french, 2019) grew
+        entry = cat1.get(views[0])
+        assert entry.groups == before - 1  # one born, two died
+        assert entry.base_version == cat1.base_version
+        assert entry.maintain_seconds > 0
+        assert entry.triples == len(cat1.graph_of(views[0]))
+        assert cat1.stale_views() == []
+
+    def test_catalog_entry_counts_stay_exact(self, population_facet):
+        (g1, cat1, views), (g2, cat2, _) = twin_worlds(
+            population_facet, build_population_graph)
+        maintainer = ViewMaintainer(cat1, max_delta_fraction=1.0)
+        standard_mutation(g1)
+        standard_mutation(g2)
+        maintainer.synchronize()
+        cat2.refresh_stale()
+        for view in views:
+            patched, rebuilt = cat1.get(view), cat2.get(view)
+            assert patched.groups == rebuilt.groups
+            assert patched.triples == rebuilt.triples
+
+    def test_minmax_insert_only_patches(self):
+        facet = AnalyticalFacet.from_query("peak", PEAK_FACET_QUERY)
+        (g1, cat1, views), (g2, cat2, _) = twin_worlds(
+            facet, build_population_graph)
+        maintainer = ViewMaintainer(cat1, max_delta_fraction=1.0)
+        for g in (g1, g2):
+            g.update([
+                Triple(EX.obs8, EX.ofCountry, EX.france),
+                Triple(EX.obs8, EX.year, typed_literal(2019)),
+                Triple(EX.obs8, EX.population, typed_literal(9000)),
+                Triple(EX.obs9, EX.ofCountry, EX.spain),
+                Triple(EX.obs9, EX.year, typed_literal(2021)),
+                Triple(EX.obs9, EX.population, typed_literal(47)),
+                Triple(EX.spain, EX.language, EX.spanish),
+            ])
+        report = maintainer.synchronize()
+        assert len(report.patched) == len(views)
+        cat2.refresh_stale()
+        assert_view_parity(cat1, cat2, views)
+
+    def test_minmax_deletes_fall_back_to_rebuild(self):
+        facet = AnalyticalFacet.from_query("peak", PEAK_FACET_QUERY)
+        (g1, cat1, views), (g2, cat2, _) = twin_worlds(
+            facet, build_population_graph)
+        maintainer = ViewMaintainer(cat1, max_delta_fraction=1.0)
+        for g in (g1, g2):
+            g.remove([Triple(EX.obs2, EX.ofCountry, EX.france)])
+        report = maintainer.synchronize()
+        assert report.patched == []
+        assert all("MIN/MAX" in v.reason for v in report.rebuilt)
+        cat2.refresh_stale()
+        assert_view_parity(cat1, cat2, views)
+
+    def test_second_window_continues_from_first(self, population_facet):
+        (g1, cat1, views), (g2, cat2, _) = twin_worlds(
+            population_facet, build_population_graph)
+        maintainer = ViewMaintainer(cat1, max_delta_fraction=1.0)
+        standard_mutation(g1)
+        standard_mutation(g2)
+        maintainer.synchronize()
+        # second window: delete the spanish group born in the first one
+        for g in (g1, g2):
+            g.remove([Triple(EX.obs9, EX.ofCountry, EX.spain)])
+        report = maintainer.synchronize()
+        assert len(report.patched) == len(views)
+        cat2.refresh_stale()
+        assert_view_parity(cat1, cat2, views)
+
+
+class TestFallbacks:
+    def test_clear_truncation_forces_rebuild(self, population_facet):
+        (g1, cat1, views), _ = twin_worlds(
+            population_facet, build_population_graph, views=[0b11])
+        maintainer = ViewMaintainer(cat1)
+        triples = list(g1)
+        g1.clear()
+        g1.update(triples[:-3])
+        report = maintainer.synchronize()
+        assert report.truncated
+        assert [v.action for v in report.views] == ["rebuilt"]
+        assert "truncated" in report.views[0].reason
+        assert cat1.stale_views() == []
+
+    def test_oversized_delta_forces_rebuild(self, population_facet):
+        (g1, cat1, views), _ = twin_worlds(
+            population_facet, build_population_graph, views=[0b11])
+        maintainer = ViewMaintainer(cat1, max_delta_fraction=0.01)
+        standard_mutation(g1)
+        report = maintainer.synchronize()
+        assert report.patched == []
+        assert "exceeds" in report.views[0].reason
+        assert cat1.stale_views() == []
+
+    def test_view_stale_before_subscription_rebuilds(self, population_facet):
+        graph = build_population_graph()
+        catalog = ViewCatalog(Dataset.wrap(graph))
+        view = ViewDefinition(population_facet, 0b11)
+        catalog.materialize(view)
+        standard_mutation(graph)           # stale before any maintainer
+        maintainer = ViewMaintainer(catalog, max_delta_fraction=1.0)
+        report = maintainer.synchronize()
+        assert [v.action for v in report.views] == ["rebuilt"]
+        assert "out of sync" in report.views[0].reason
+        assert catalog.stale_views() == []
+
+    def test_non_bgp_facet_rebuilds(self):
+        facet = AnalyticalFacet.from_query("opt", OPTIONAL_FACET_QUERY)
+        graph = build_population_graph()
+        catalog = ViewCatalog(Dataset.wrap(graph))
+        view = ViewDefinition(facet, 0b1)
+        catalog.materialize(view)
+        maintainer = ViewMaintainer(catalog, max_delta_fraction=1.0)
+        graph.add(Triple(EX.obs1, EX.population, typed_literal(1000)))
+        report = maintainer.synchronize()
+        assert [v.action for v in report.views] == ["rebuilt"]
+        assert "not delta-evaluable" in report.views[0].reason
+
+    def test_out_of_band_rebuild_does_not_corrupt(self, population_facet):
+        """Regression: an external refresh orphans the maintainer's cached
+        group index (fresh blank nodes); the next patch must detect the
+        drift and rebuild instead of editing dropped node ids."""
+        (g1, cat1, views), (g2, cat2, _) = twin_worlds(
+            population_facet, build_population_graph, views=[0b11])
+        maintainer = ViewMaintainer(cat1, max_delta_fraction=1.0)
+        standard_mutation(g1)
+        standard_mutation(g2)
+        maintainer.synchronize()           # index now cached and true
+        cat1.refresh(views[0])             # out-of-band: new group nodes
+        for g in (g1, g2):
+            g.remove([Triple(EX.obs1, EX.ofCountry, EX.france)])
+        report = maintainer.synchronize()
+        assert [v.action for v in report.views] == ["rebuilt"]
+        cat2.refresh_stale()
+        assert_view_parity(cat1, cat2, views)
+
+    def test_fresh_views_untouched(self, population_facet):
+        (g1, cat1, views), _ = twin_worlds(
+            population_facet, build_population_graph, views=[0b11])
+        maintainer = ViewMaintainer(cat1)
+        report = maintainer.synchronize()
+        assert report.views == []
+
+    def test_closed_maintainer_rejects_synchronize(self, population_facet):
+        (g1, cat1, _views), _ = twin_worlds(
+            population_facet, build_population_graph, views=[0b11])
+        maintainer = ViewMaintainer(cat1)
+        maintainer.close()
+        with pytest.raises(Exception):
+            maintainer.synchronize()
+
+
+class TestSofosPolicies:
+    def test_invalid_policy_rejected(self, population_facet):
+        with pytest.raises(ReproError):
+            Sofos(build_population_graph(), population_facet,
+                  maintenance="eventually")
+
+    def test_auto_refresh_contradicting_policy_rejected(self,
+                                                        population_facet):
+        graph = build_population_graph()
+        catalog = ViewCatalog(Dataset.wrap(graph))
+        catalog.materialize(ViewDefinition(population_facet, 0b11))
+        maintainer = ViewMaintainer(catalog)
+        with pytest.raises(ReproError):
+            OnlineModule(catalog, auto_refresh=True, policy="deferred")
+        with pytest.raises(ReproError):
+            OnlineModule(catalog, auto_refresh=True, maintainer=maintainer)
+        # the consistent spellings still work
+        assert OnlineModule(catalog, auto_refresh=True,
+                            policy="rebuild").policy == "rebuild"
+        assert OnlineModule(catalog, auto_refresh=True).policy is None
+
+    def test_rebuild_policy_repairs_at_answer_time(self, population_facet):
+        sofos = Sofos(build_population_graph(), population_facet,
+                      maintenance="rebuild")
+        sofos.select_and_materialize("agg_values", k=2)
+        graph = sofos.dataset.default
+        graph.update([Triple(EX.obs8, EX.ofCountry, EX.france),
+                      Triple(EX.obs8, EX.year, typed_literal(2019)),
+                      Triple(EX.obs8, EX.population, typed_literal(7))])
+        query = AnalyticalQuery(population_facet, 0)
+        answer = sofos.answer(query)
+        assert answer.used_view is not None and not answer.stale
+        assert answer.table.same_solutions(
+            sofos.answer_from_base(query).table)
+
+    def test_maintainer_without_policy_defaults_to_incremental(
+            self, population_facet):
+        """A wired maintainer is the refresher: it must actually repair
+        stale routed views, not sit idle while disabling skip-stale."""
+        graph = build_population_graph()
+        catalog = ViewCatalog(Dataset.wrap(graph))
+        catalog.materialize(ViewDefinition(population_facet, 0b11))
+        maintainer = ViewMaintainer(catalog, max_delta_fraction=1.0)
+        online = OnlineModule(catalog, maintainer=maintainer)
+        assert online.policy == "incremental"
+        graph.update([Triple(EX.obs8, EX.ofCountry, EX.france),
+                      Triple(EX.obs8, EX.year, typed_literal(2019)),
+                      Triple(EX.obs8, EX.population, typed_literal(7))])
+        query = AnalyticalQuery(population_facet, 0)
+        answer = online.answer(query)
+        assert answer.used_view is not None and not answer.stale
+        assert answer.table.same_solutions(
+            online.answer_from_base(query).table)
+
+    def test_incremental_policy_patches_at_answer_time(self,
+                                                       population_facet):
+        sofos = Sofos(build_population_graph(), population_facet,
+                      maintenance="incremental")
+        sofos.select_and_materialize("agg_values", k=2)
+        assert sofos.maintainer is not None
+        graph = sofos.dataset.default
+        graph.update([Triple(EX.obs8, EX.ofCountry, EX.france),
+                      Triple(EX.obs8, EX.year, typed_literal(2019)),
+                      Triple(EX.obs8, EX.population, typed_literal(7))])
+        query = AnalyticalQuery(population_facet, 0)
+        answer = sofos.answer(query)
+        assert answer.used_view is not None and not answer.stale
+        assert answer.table.same_solutions(
+            sofos.answer_from_base(query).table)
+        assert sofos.catalog.stale_views() == []
+
+    def test_deferred_policy_serves_snapshot_until_maintain(
+            self, population_facet):
+        sofos = Sofos(build_population_graph(), population_facet,
+                      maintenance="deferred")
+        sofos.select_and_materialize("agg_values", k=2)
+        graph = sofos.dataset.default
+        query = AnalyticalQuery(population_facet, 0)
+        before = sofos.answer(query)
+        graph.update([Triple(EX.obs8, EX.ofCountry, EX.france),
+                      Triple(EX.obs8, EX.year, typed_literal(2019)),
+                      Triple(EX.obs8, EX.population, typed_literal(7))])
+        snapshot = sofos.answer(query)
+        assert snapshot.stale
+        assert snapshot.table.same_solutions(before.table)
+        report = sofos.maintain()
+        assert len(report.patched) + len(report.rebuilt) == 2
+        current = sofos.answer(query)
+        assert not current.stale
+        assert current.table.same_solutions(
+            sofos.answer_from_base(query).table)
+
+    def test_rebuild_policy_maintain_reports(self, population_facet):
+        sofos = Sofos(build_population_graph(), population_facet)
+        assert len(sofos.maintain()) == 0   # nothing materialized
+        sofos.select_and_materialize("agg_values", k=2)
+        graph = sofos.dataset.default
+        graph.add(Triple(EX.obs8, EX.ofCountry, EX.france))
+        report = sofos.maintain()
+        assert [v.action for v in report.views] == ["rebuilt", "rebuilt"]
+        assert sofos.catalog.stale_views() == []
+
+
+class TestRandomStreamParity:
+    """Property-style: random insert/delete streams on the demo facets."""
+
+    def _run_stream(self, graph: Graph, facet: AnalyticalFacet,
+                    batches: int, seed: int, views=None) -> None:
+        g1 = graph.copy()
+        g2 = graph.copy()
+        worlds = []
+        for g in (g1, g2):
+            catalog = ViewCatalog(Dataset.wrap(g))
+            lattice = ViewLattice(facet)
+            selected = [lattice.finest, lattice.apex] if views is None \
+                else [ViewDefinition(facet, m) for m in views]
+            for view in selected:
+                catalog.materialize(view)
+            worlds.append((catalog, selected))
+        (cat1, selected), (cat2, _) = worlds
+        maintainer = ViewMaintainer(cat1)
+        generator = UpdateStreamGenerator(g1, UpdateStreamConfig(
+            batches=batches, operations_per_batch=5, seed=seed))
+        for batch in generator.stream(apply=False):
+            batch.apply_to(g1)
+            batch.apply_to(g2)
+            maintainer.synchronize()
+            cat2.refresh_stale()
+            assert_view_parity(cat1, cat2, selected)
+
+        # routed answers must match the seed reference executor on G
+        online = OnlineModule(cat1)
+        reference = ReferenceExecutor(g1)
+        engine = QueryEngine(g1)
+        for mask in range(facet.lattice_size):
+            query = AnalyticalQuery(facet, mask)
+            answer = online.answer(query)
+            prepared = engine.prepare(query.to_select_query())
+            want = ResultTable.from_bindings(
+                prepared.ast.projected_variables(),
+                reference.run(prepared.plan))
+            assert answer.table.same_solutions(want), (facet.name, mask)
+
+    def test_lubm_count_facet(self, tiny_lubm):
+        self._run_stream(tiny_lubm.graph, tiny_lubm.facet(),
+                         batches=4, seed=5)
+
+    def test_swdf_count_facet(self, tiny_swdf):
+        self._run_stream(tiny_swdf.graph, tiny_swdf.facet(),
+                         batches=4, seed=7)
+
+    def test_population_avg_facet(self, population_avg_facet):
+        self._run_stream(build_population_graph(), population_avg_facet,
+                         batches=3, seed=9,
+                         views=[0b11, 0b01, 0])

@@ -130,17 +130,41 @@ class TestOnlineAutoRefresh:
         assert not first.table.same_solutions(second.table)
 
     def test_without_auto_refresh_snapshot_persists(self, population_facet):
+        """Explicit snapshot serving: with stale routing disabled the view
+        keeps answering from its frozen state."""
         graph = build_population_graph()
         dataset = Dataset.wrap(graph)
         offline = OfflineModule(dataset, population_facet)
         selection = offline.select(UserSelection(["lang+year"]), 1)
         catalog = offline.materialize(selection)
-        online = OnlineModule(catalog, auto_refresh=False)
+        online = OnlineModule(catalog, auto_refresh=False, skip_stale=False)
         query = AnalyticalQuery(population_facet, 0)
         first = online.answer(query)
         add_observation(graph, pop=1_000_000)
         second = online.answer(query)
         assert first.table.same_solutions(second.table)
+        assert second.stale and second.outcome.stale
+
+    def test_stale_views_skipped_by_default(self, population_facet):
+        """Without any refresher wired, a stale view must not answer —
+        routing falls back to the always-current base graph."""
+        graph = build_population_graph()
+        dataset = Dataset.wrap(graph)
+        offline = OfflineModule(dataset, population_facet)
+        selection = offline.select(UserSelection(["lang+year"]), 1)
+        catalog = offline.materialize(selection)
+        online = OnlineModule(catalog)
+        query = AnalyticalQuery(population_facet, 0)
+        assert online.router.skip_stale
+        assert online.answer(query).used_view == "lang+year"
+        add_observation(graph, pop=1_000_000)
+        answer = online.answer(query)
+        assert answer.used_view is None and not answer.stale
+        assert answer.table.same_solutions(
+            online.answer_from_base(query).table)
+        # once refreshed, routing returns to the view
+        catalog.refresh_stale()
+        assert online.answer(query).used_view == "lang+year"
 
     def test_refresh_is_visible_through_cached_engines(self,
                                                        population_facet):

@@ -117,3 +117,175 @@ class TestExpandedPersistence:
             pytest.skip("selection already contains mask 2")
         with pytest.raises(ViewError):
             load_expanded(str(tmp_path), facet)
+
+
+class TestManifestV2:
+    """Format 2: true staleness + the per-view group index round trip."""
+
+    def test_manifest_records_format_and_group_index(self, tmp_path,
+                                                     population_facet):
+        import json
+        sofos = Sofos(build_population_graph(), population_facet)
+        _selection, catalog = sofos.select_and_materialize("agg_values", k=2)
+        save_expanded(catalog, str(tmp_path))
+        manifest = json.loads((tmp_path / "catalog.json").read_text())
+        assert manifest["format"] == 2
+        for item in manifest["views"]:
+            assert item["stale"] is False
+            index = item["group_index"]
+            assert index is not None
+            assert len(index["groups"]) == item["groups"]
+            for group in index["groups"]:
+                assert group["node"].startswith("_:")
+                assert isinstance(group["count"], int)
+
+    def test_stale_at_save_restored_stale(self, tmp_path, population_facet):
+        from repro.rdf import Triple, typed_literal
+        from tests.conftest import EX
+        sofos = Sofos(build_population_graph(), population_facet)
+        _selection, catalog = sofos.select_and_materialize("agg_values", k=2)
+        sofos.dataset.default.add(
+            Triple(EX.obs99, EX.population, typed_literal(1)))
+        assert len(catalog.stale_views()) == 2
+        save_expanded(catalog, str(tmp_path))
+        _dataset, loaded = load_expanded(str(tmp_path), population_facet)
+        assert len(loaded.stale_views()) == 2
+        refreshed = loaded.refresh_stale()
+        assert len(refreshed) == 2
+        assert loaded.stale_views() == []
+
+    def test_group_index_restored_and_adopted(self, tmp_path,
+                                              population_facet):
+        from repro.views import ViewMaintainer
+        sofos = Sofos(build_population_graph(), population_facet)
+        _selection, catalog = sofos.select_and_materialize("agg_values", k=2)
+        save_expanded(catalog, str(tmp_path))
+        _dataset, loaded = load_expanded(str(tmp_path), population_facet)
+        assert set(loaded.restored_group_indexes) == \
+            {entry.mask for entry in loaded}
+        maintainer = ViewMaintainer(loaded)
+        for entry in loaded:
+            index = maintainer.group_index(entry.definition)
+            assert index is not None
+            assert len(index) == entry.groups
+
+    def test_restored_index_patches_without_rescan(self, tmp_path,
+                                                   population_facet):
+        """A loaded catalog + adopted index must survive a real patch."""
+        from repro.core import OnlineModule
+        from repro.cube import AnalyticalQuery
+        from repro.rdf import Triple, typed_literal
+        from repro.views import ViewMaintainer
+        from tests.conftest import EX
+        sofos = Sofos(build_population_graph(), population_facet)
+        _selection, catalog = sofos.select_and_materialize("agg_values", k=2)
+        save_expanded(catalog, str(tmp_path))
+        dataset, loaded = load_expanded(str(tmp_path), population_facet)
+        maintainer = ViewMaintainer(loaded, max_delta_fraction=1.0)
+        dataset.default.update([
+            Triple(EX.obs99, EX.ofCountry, EX.france),
+            Triple(EX.obs99, EX.year, typed_literal(2019)),
+            Triple(EX.obs99, EX.population, typed_literal(3)),
+        ])
+        report = maintainer.synchronize()
+        assert report.rebuilt == []
+        online = OnlineModule(loaded)
+        query = AnalyticalQuery(population_facet, 0)
+        answer = online.answer(query)
+        assert answer.used_view is not None
+        assert answer.table.same_solutions(
+            online.answer_from_base(query).table)
+
+    def test_refresh_invalidates_restored_index(self, tmp_path,
+                                                population_facet):
+        """Regression: a rebuild mints fresh group nodes, so a restored
+        index must never be adopted past it — patches through the orphaned
+        node ids would corrupt the view silently."""
+        from repro.core import OnlineModule
+        from repro.cube import AnalyticalQuery
+        from repro.rdf import Triple, typed_literal
+        from repro.views import ViewMaintainer
+        from tests.conftest import EX
+        sofos = Sofos(build_population_graph(), population_facet)
+        _selection, catalog = sofos.select_and_materialize("agg_values", k=2)
+        sofos.dataset.default.add(
+            Triple(EX.obs98, EX.population, typed_literal(1)))
+        save_expanded(catalog, str(tmp_path))
+        dataset, loaded = load_expanded(str(tmp_path), population_facet)
+        loaded.refresh_stale()            # fresh blank nodes everywhere
+        assert loaded.restored_group_indexes == {}
+        maintainer = ViewMaintainer(loaded, max_delta_fraction=1.0)
+        dataset.default.update([
+            Triple(EX.obs99, EX.ofCountry, EX.france),
+            Triple(EX.obs99, EX.year, typed_literal(2019)),
+            Triple(EX.obs99, EX.population, typed_literal(3)),
+        ])
+        maintainer.synchronize()
+        online = OnlineModule(loaded)
+        query = AnalyticalQuery(population_facet, 0)
+        answer = online.answer(query)
+        assert answer.used_view is not None
+        assert answer.table.same_solutions(
+            online.answer_from_base(query).table)
+
+    def test_restored_index_consumed_by_first_maintainer(self, tmp_path,
+                                                         population_facet):
+        """Adoption is consume-once: a second maintainer must re-scan
+        rather than trust a snapshot the first one has patched past."""
+        from repro.views import ViewMaintainer
+        sofos = Sofos(build_population_graph(), population_facet)
+        _selection, catalog = sofos.select_and_materialize("agg_values", k=2)
+        save_expanded(catalog, str(tmp_path))
+        _dataset, loaded = load_expanded(str(tmp_path), population_facet)
+        first = ViewMaintainer(loaded)
+        assert loaded.restored_group_indexes == {}
+        second = ViewMaintainer(loaded)
+        for entry in loaded:
+            assert first.group_index(entry.definition) is not None
+            assert second.group_index(entry.definition) is None
+
+    def test_maintain_seconds_round_trip(self, tmp_path, population_facet):
+        import json
+        sofos = Sofos(build_population_graph(), population_facet)
+        _selection, catalog = sofos.select_and_materialize("agg_values", k=2)
+        entry = next(iter(catalog))
+        catalog.note_maintained(
+            entry.definition, groups=entry.groups, triples=entry.triples,
+            nodes=entry.nodes, seconds=1.5)
+        save_expanded(catalog, str(tmp_path))
+        manifest = json.loads((tmp_path / "catalog.json").read_text())
+        saved = {item["mask"]: item for item in manifest["views"]}
+        assert saved[entry.mask]["maintain_seconds"] == 1.5
+        _dataset, loaded = load_expanded(str(tmp_path), population_facet)
+        assert loaded.get(entry.definition).maintain_seconds == 1.5
+
+    def test_format_1_manifest_still_loads(self, tmp_path, population_facet):
+        import json
+        sofos = Sofos(build_population_graph(), population_facet)
+        _selection, catalog = sofos.select_and_materialize("agg_values", k=2)
+        save_expanded(catalog, str(tmp_path))
+        manifest_path = tmp_path / "catalog.json"
+        manifest = json.loads(manifest_path.read_text())
+        # rewrite to the legacy shape: no stale/group_index fields
+        manifest["format"] = 1
+        for item in manifest["views"]:
+            for key in ("stale", "group_index", "maintain_seconds"):
+                item.pop(key, None)
+        manifest_path.write_text(json.dumps(manifest))
+        _dataset, loaded = load_expanded(str(tmp_path), population_facet)
+        assert len(loaded) == len(catalog)
+        # v1 semantics: entries re-stamped fresh, no restored indexes
+        assert loaded.stale_views() == []
+        assert loaded.restored_group_indexes == {}
+
+    def test_unknown_format_rejected(self, tmp_path, population_facet):
+        import json
+        sofos = Sofos(build_population_graph(), population_facet)
+        _selection, catalog = sofos.select_and_materialize("agg_values", k=2)
+        save_expanded(catalog, str(tmp_path))
+        manifest_path = tmp_path / "catalog.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format"] = 99
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ViewError):
+            load_expanded(str(tmp_path), population_facet)

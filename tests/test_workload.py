@@ -133,3 +133,77 @@ class TestTemplates:
         prepared = t.prepare(lang=EX.french)
         total = engine.query(prepared).python_value()
         assert total > 0
+
+
+class TestUpdateStreams:
+    def _graph(self):
+        return build_population_graph()
+
+    def test_config_validation(self):
+        from repro.workload import UpdateStreamConfig
+        with pytest.raises(WorkloadError):
+            UpdateStreamConfig(operations_per_batch=0)
+        with pytest.raises(WorkloadError):
+            UpdateStreamConfig(insert_probability=1.5)
+        with pytest.raises(WorkloadError):
+            UpdateStreamConfig(batches=-1)
+
+    def test_stream_is_deterministic(self):
+        from repro.workload import UpdateStreamConfig, UpdateStreamGenerator
+        config = UpdateStreamConfig(batches=3, operations_per_batch=5,
+                                    seed=13)
+        runs = []
+        for _ in range(2):
+            generator = UpdateStreamGenerator(self._graph(), config)
+            runs.append([(b.inserts, b.deletes)
+                         for b in generator.stream(apply=True)])
+        assert runs[0] == runs[1]
+
+    def test_deletes_reference_present_triples(self):
+        from repro.workload import UpdateStreamConfig, UpdateStreamGenerator
+        graph = self._graph()
+        generator = UpdateStreamGenerator(graph, UpdateStreamConfig(
+            batches=4, operations_per_batch=6, insert_probability=0.3,
+            seed=2))
+        for batch in generator.stream(apply=False):
+            for triple in batch.deletes:
+                assert triple in graph
+            batch.apply_to(graph)
+
+    def test_apply_uses_bulk_paths(self):
+        from repro.workload import UpdateStreamConfig, UpdateStreamGenerator
+        graph = self._graph()
+        generator = UpdateStreamGenerator(graph, UpdateStreamConfig(
+            batches=1, operations_per_batch=8, seed=4))
+        batch = generator.next_batch()
+        assert batch.size > 0
+        v0 = graph.version
+        added, removed = batch.apply_to(graph)
+        assert added == len(batch.inserts)
+        assert removed == len(batch.deletes)
+        bumps = (1 if batch.inserts else 0) + (1 if batch.deletes else 0)
+        assert graph.version == v0 + bumps
+
+    def test_clones_join_like_their_originals(self, population_facet):
+        """Entity-clone inserts must feed the facet's aggregation."""
+        from repro.workload import UpdateStreamConfig, UpdateStreamGenerator
+        graph = self._graph()
+        engine = QueryEngine(graph)
+        before = len(engine.query(population_facet.binding_query()))
+        generator = UpdateStreamGenerator(graph, UpdateStreamConfig(
+            batches=3, operations_per_batch=8, insert_probability=1.0,
+            seed=6))
+        for batch in generator.stream(apply=True):
+            assert batch.deletes == ()
+        after = len(QueryEngine(graph).query(
+            population_facet.binding_query()))
+        assert after > before
+
+    def test_exhausted_graph_yields_empty_batches(self):
+        from repro.rdf import Graph
+        from repro.workload import UpdateStreamConfig, UpdateStreamGenerator
+        generator = UpdateStreamGenerator(Graph(), UpdateStreamConfig(
+            batches=1, operations_per_batch=3, seed=1))
+        batch = generator.next_batch()
+        assert batch.size == 0
+        assert batch.apply_to(Graph()) == (0, 0)
