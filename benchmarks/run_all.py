@@ -6,7 +6,9 @@ through BOTH executors — the batched id-space pipeline and the retained
 tuple-at-a-time reference — and writes ``BENCH_engine.json`` at the repo
 root: per-suite median timings, dataset sizes, and speedup vs the seed
 baseline.  The maintenance suite (incremental view patching vs full
-rebuilds, see ``run_maintenance.py``) is folded into the same summary.
+rebuilds, see ``run_maintenance.py``) and the materialization suite
+(shared-scan rollup vs per-view builds, see ``run_materialization.py``)
+are folded into the same summary.
 Every future perf PR appends its own before/after point by re-running
 this script.
 
@@ -35,6 +37,8 @@ from repro.workload import WorkloadConfig, WorkloadGenerator
 
 from run_maintenance import run_suites as run_maintenance_suites, \
     small_delta_summary
+from run_materialization import full_lattice_summary, \
+    run_suites as run_materialization_suites
 
 REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
 
@@ -141,6 +145,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--skip-maintenance", action="store_true",
                         help="omit the maintenance suite (when a separate "
                              "run_maintenance.py invocation covers it)")
+    parser.add_argument("--skip-materialization", action="store_true",
+                        help="omit the materialization suite (when a "
+                             "separate run_materialization.py invocation "
+                             "covers it)")
     parser.add_argument("--out", default=os.path.join(REPO_ROOT,
                                                       "BENCH_engine.json"))
     args = parser.parse_args(argv)
@@ -150,6 +158,9 @@ def main(argv: list[str] | None = None) -> int:
     maintenance_suites = {} if args.skip_maintenance \
         else run_maintenance_suites(smoke=args.smoke)
     maintenance = small_delta_summary(maintenance_suites)
+    materialization_suites = {} if args.skip_materialization \
+        else run_materialization_suites(smoke=args.smoke)
+    materialization = full_lattice_summary(materialization_suites)
     payload = {
         "benchmark": "engine",
         "mode": "smoke" if args.smoke else "full",
@@ -161,15 +172,23 @@ def main(argv: list[str] | None = None) -> int:
     }
     if maintenance_suites:
         payload["maintenance"] = {
-            "baseline": "ViewCatalog.refresh_stale() full rebuilds",
+            "baseline": "per-view ViewCatalog.refresh full rebuilds",
             "suites": maintenance_suites,
             "small_delta": maintenance,
+        }
+    if materialization_suites:
+        payload["materialization"] = {
+            "baseline": "per-view ViewCatalog.materialize "
+                        "(one scan per view)",
+            "suites": materialization_suites,
+            "full_lattice": materialization,
         }
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
 
-    width = max(len(k) for k in list(suites) + list(maintenance_suites))
+    width = max(len(k) for k in list(suites) + list(maintenance_suites)
+                + list(materialization_suites))
     print(f"{'suite'.ljust(width)}  batched ms  reference ms  speedup")
     for key, suite in suites.items():
         print(f"{key.ljust(width)}  {suite['batched_ms']:>10.2f}  "
@@ -183,6 +202,14 @@ def main(argv: list[str] | None = None) -> int:
                   f"{suite['rebuild_ms']:>12.2f}  {suite['speedup']:>6.1f}x")
         summary += (f", {maintenance['median_speedup']:.1f}x small-delta "
                     "maintenance")
+    if materialization_suites:
+        print(f"{'materialization'.ljust(width)}   rollup ms   per-view ms  "
+              "speedup")
+        for key, suite in materialization_suites.items():
+            print(f"{key.ljust(width)}  {suite['rollup_ms']:>10.2f}  "
+                  f"{suite['per_view_ms']:>12.2f}  {suite['speedup']:>6.1f}x")
+        summary += (f", {materialization['median_speedup']:.1f}x "
+                    "full-lattice materialization")
     print(f"{summary} (written to {os.path.relpath(args.out, REPO_ROOT)})")
     return 0
 

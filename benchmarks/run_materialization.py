@@ -1,0 +1,221 @@
+"""Materialization benchmark: shared-scan rollup vs per-view evaluation.
+
+For each demo dataset family the suite materializes the same view batches
+two ways — through ``ViewCatalog.materialize_all`` (one scan of the facet
+pattern into an id-space group table, coarser views rolled up from finer
+ones) and through the per-view baseline (``ViewCatalog.materialize`` in a
+loop, each view re-running its full BGP + GROUP BY) — and times both.
+Triple-for-triple parity between the two worlds' view graphs is asserted
+(up to blank-node labels) before any timing is trusted.
+
+The graphs are bench-sized instances of the three demo generators
+(labelled, with triple counts, in the JSON): rollup's advantage is the
+shared base scan, so the measurement runs at scales where the scan
+matters — the production-leaning sizes the ROADMAP targets — rather than
+the unit-test presets whose view encodings rival the graph itself.
+Batches cover the full lattice (the demo's "exploration of the full
+lattice" step, where per-view cost is worst) plus selected subsets the
+selection strategies typically pick.
+
+Writes ``BENCH_materialization.json`` at the repo root: per dataset ×
+batch the median build times and their ratio, plus a ``full_lattice``
+summary — the headline number this PR is gated on (≥ 3× median across
+datasets; the CI smoke gate uses a lower floor via ``--min-speedup``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_materialization.py \
+        [--smoke] [--out PATH] [--min-speedup X]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.cube import ViewLattice
+from repro.datasets import load_dataset
+from repro.datasets.dbpedia import DBPediaConfig, generate_dbpedia
+from repro.datasets.lubm import LUBMConfig, generate_lubm
+from repro.datasets.swdf import SWDFConfig, generate_swdf
+from repro.rdf import Dataset
+from repro.views import ViewCatalog
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
+
+#: The headline facet per dataset family (same as the E-experiments).
+HEADLINE = {
+    "dbpedia": "population_cube",
+    "lubm": "students_by_department",
+    "swdf": "papers_by_conference",
+}
+
+#: Bench-sized graph builders: full mode leans production-ward (the
+#: shared scan is what rollup amortizes), smoke mode stays CI-fast.
+_BUILDERS = {
+    False: {  # full
+        "dbpedia": lambda: generate_dbpedia(DBPediaConfig(
+            countries=1200, years=tuple(range(2000, 2020)), seed=7)),
+        "lubm": lambda: generate_lubm(LUBMConfig(universities=1, seed=7)),
+        "swdf": lambda: generate_swdf(SWDFConfig(
+            papers_per_edition_min=150, papers_per_edition_max=300,
+            authors_pool=1200, seed=7)),
+    },
+    True: {  # smoke
+        "dbpedia": lambda: generate_dbpedia(DBPediaConfig(
+            countries=300, years=tuple(range(2010, 2020)), seed=7)),
+        "lubm": lambda: generate_lubm(LUBMConfig(seed=7).scaled(0.35)),
+        "swdf": lambda: generate_swdf(SWDFConfig(
+            papers_per_edition_min=80, papers_per_edition_max=160,
+            authors_pool=600, seed=7)),
+    },
+}
+
+
+def group_signatures(graph):
+    """Multiset of per-group (p, o) signatures — blank-label-free equality."""
+    by_node: dict = {}
+    for t in graph:
+        by_node.setdefault(t.s, []).append((t.p, t.o))
+    signatures: dict[frozenset, int] = {}
+    for po in by_node.values():
+        key = frozenset(po)
+        signatures[key] = signatures.get(key, 0) + 1
+    return signatures
+
+
+def _batches(lattice: ViewLattice) -> dict[str, list]:
+    """The view batches each suite times (deterministic)."""
+    finest = lattice.finest
+    return {
+        "full_lattice": list(lattice),
+        "finest_and_children": [finest] + lattice.children(finest),
+        "finest_apex_pair": [finest, lattice.apex],
+    }
+
+
+def _build_once(graph, views, rollup: bool) -> tuple[float, ViewCatalog]:
+    """One timed build of ``views`` into a fresh catalog over ``graph``."""
+    catalog = ViewCatalog(Dataset.wrap(graph))
+    start = time.perf_counter()
+    if rollup:
+        catalog.materialize_all(views)
+    else:
+        for view in views:
+            catalog.materialize(view)
+    return time.perf_counter() - start, catalog
+
+
+def run_batch(graph, views, repetitions: int) -> dict:
+    """Median rollup/per-view build times for one batch (parity-checked)."""
+    _seconds, rolled = _build_once(graph, views, rollup=True)
+    _seconds, direct = _build_once(graph, views, rollup=False)
+    for view in views:
+        got = group_signatures(rolled.graph_of(view))
+        want = group_signatures(direct.graph_of(view))
+        if got != want:
+            raise AssertionError(
+                f"rollup materialization divergence on view {view.label}")
+    rolled.drop_all()
+    direct.drop_all()
+
+    rollup_times, direct_times = [], []
+    for _ in range(repetitions):
+        seconds, catalog = _build_once(graph, views, rollup=True)
+        rollup_times.append(seconds)
+        catalog.drop_all()
+        seconds, catalog = _build_once(graph, views, rollup=False)
+        direct_times.append(seconds)
+        catalog.drop_all()
+    rollup_ms = statistics.median(rollup_times) * 1e3
+    direct_ms = statistics.median(direct_times) * 1e3
+    return {
+        "views": len(views),
+        "rollup_ms": round(rollup_ms, 3),
+        "per_view_ms": round(direct_ms, 3),
+        "speedup": round(direct_ms / rollup_ms, 2) if rollup_ms else 0.0,
+    }
+
+
+def run_suites(smoke: bool = False) -> dict:
+    label = "smoke" if smoke else "bench"
+    repetitions = 3 if smoke else 5
+    suites: dict[str, dict] = {}
+    for name in ("dbpedia", "lubm", "swdf"):
+        graph = _BUILDERS[smoke][name]()
+        facet = load_dataset(name, "tiny").facets[HEADLINE[name]]
+        lattice = ViewLattice(facet)
+        for batch_name, views in sorted(_batches(lattice).items()):
+            suite = run_batch(graph, views, repetitions)
+            suite["dataset"] = {"name": f"{name}-{label}",
+                                "triples": len(graph)}
+            suite["facet"] = facet.name
+            suites[f"{name}/{batch_name}"] = suite
+    return suites
+
+
+def full_lattice_summary(suites: dict) -> dict:
+    """Per-dataset full-lattice speedup — the headline the PR is gated on."""
+    per_dataset = {key.split("/")[0]: suite["speedup"]
+                   for key, suite in sorted(suites.items())
+                   if key.endswith("/full_lattice")}
+    return {
+        "per_dataset_speedup": per_dataset,
+        "median_speedup": round(statistics.median(per_dataset.values()), 2)
+        if per_dataset else 0.0,
+        "datasets_at_3x": sum(1 for s in per_dataset.values() if s >= 3.0),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast CI pass: smaller instances, fewer "
+                             "repetitions")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail (exit 1) when the median full-lattice "
+                             "speedup lands below this floor")
+    parser.add_argument("--out", default=os.path.join(
+        REPO_ROOT, "BENCH_materialization.json"))
+    args = parser.parse_args(argv)
+
+    suites = run_suites(smoke=args.smoke)
+    summary = full_lattice_summary(suites)
+    payload = {
+        "benchmark": "materialization",
+        "mode": "smoke" if args.smoke else "full",
+        "baseline": "per-view ViewCatalog.materialize (one scan per view)",
+        "python": sys.version.split()[0],
+        "suites": suites,
+        "full_lattice": summary,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    width = max(len(k) for k in suites)
+    print(f"{'batch'.ljust(width)}  views  rollup ms  per-view ms  speedup")
+    for key, suite in suites.items():
+        print(f"{key.ljust(width)}  {suite['views']:>5}  "
+              f"{suite['rollup_ms']:>9.2f}  {suite['per_view_ms']:>11.2f}  "
+              f"{suite['speedup']:>6.1f}x")
+    print(f"full-lattice median speedup: {summary['median_speedup']:.1f}x "
+          f"across {summary['datasets_at_3x']} dataset(s) ≥ 3x "
+          f"(written to {os.path.relpath(args.out, REPO_ROOT)})")
+    if args.min_speedup is not None \
+            and summary["median_speedup"] < args.min_speedup:
+        print(f"FAIL: median full-lattice speedup "
+              f"{summary['median_speedup']:.2f}x is below the "
+              f"{args.min_speedup:.2f}x floor")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

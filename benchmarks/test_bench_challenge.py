@@ -45,7 +45,9 @@ class TestChallenge:
             sofos.lattice, profile, K, workload)
         optimal_ms = measured_ms(sofos, workload, optimal)
 
-        rows = [["optimal (exhaustive)", ", ".join(optimal.labels),
+        # view lists print sorted so equal selections render identically
+        # whatever order a strategy picked them in
+        rows = [["optimal (exhaustive)", ", ".join(sorted(optimal.labels)),
                  f"{optimal_ms:.1f}", "1.00x"]]
         regrets = {}
         for model_name in MODELS:
@@ -54,7 +56,7 @@ class TestChallenge:
             ms = measured_ms(sofos, workload, selection)
             regrets[model_name] = ms / optimal_ms
             rows.append([f"greedy[{model_name}]",
-                         ", ".join(selection.labels),
+                         ", ".join(sorted(selection.labels)),
                          f"{ms:.1f}", f"{ms / optimal_ms:.2f}x"])
         emit("E6", format_table(
             ("strategy", "views", "workload ms", "vs optimal"), rows,

@@ -54,8 +54,10 @@ class TestSelectorAblation:
                 results[(label, k)] = result
                 if label == "exhaustive":
                     optima[k] = result.estimated_workload_cost
+                # sorted: selection *sets* print identically regardless
+                # of the strategy's pick order, keeping re-runs diffable
                 rows.append([
-                    str(k), label, ", ".join(result.labels),
+                    str(k), label, ", ".join(sorted(result.labels)),
                     f"{result.estimated_workload_cost:.1f}",
                     f"{result.select_seconds * 1e3:.2f}",
                 ])

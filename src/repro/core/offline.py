@@ -76,22 +76,25 @@ class OfflineModule:
         """Materialize a selection into (a fresh or given) catalog.
 
         Passing an existing catalog lets callers accumulate selections;
-        already-materialized views are skipped, not rebuilt.
+        already-materialized views are skipped, not rebuilt.  The batch
+        goes through the catalog's rollup planner: one shared scan of
+        the facet pattern, coarser views derived from finer group
+        tables.
         """
         if catalog is None:
             catalog = ViewCatalog(self._dataset, self._engine)
-        for view in selection.views:
-            if view not in catalog:
-                catalog.materialize(view)
+        catalog.materialize_all(view for view in selection.views
+                                if view not in catalog)
         return catalog
 
     def materialize_full_lattice(self) -> tuple[ViewCatalog, float]:
         """Materialize *every* view (the demo's full-lattice exploration).
 
-        Returns the catalog plus total build seconds.
+        The whole lattice builds as one rollup batch — the cube is
+        computed once at the finest grain and every coarser view rolls
+        up from it.  Returns the catalog plus total build seconds.
         """
         catalog = ViewCatalog(self._dataset, self._engine)
         with Timer() as timer:
-            for view in self._lattice:
-                catalog.materialize(view)
+            catalog.materialize_all(self._lattice)
         return catalog, timer.seconds

@@ -163,12 +163,12 @@ class Sofos:
             return report
         version = self._catalog.base_version
         report.from_version = report.to_version = version
-        for entry in self._catalog.stale_views():
-            with Timer() as timer:
-                self._catalog.refresh(entry.definition)
+        # One plan-driven batch: stale views of a facet share a single
+        # base scan instead of re-evaluating the query per view.
+        for entry in self._catalog.refresh_stale():
             report.views.append(ViewMaintenance(
                 label=entry.label, action="rebuilt",
-                seconds=timer.seconds, reason="rebuild policy"))
+                seconds=entry.build_seconds, reason="rebuild policy"))
         return report
 
     def memory_report(self) -> dict[str, int]:

@@ -1,7 +1,7 @@
 """Facets, analytical queries, view definitions, and the view lattice."""
 
 from .facet import ROLLUP_AGGREGATES, AnalyticalFacet
-from .lattice import ViewLattice
+from .lattice import RollupPlan, RollupStep, ViewLattice
 from .qb import QB, facet_from_qb, qb_datasets
 from .query import AnalyticalQuery, FilterCondition
 from .view import COUNT_VAR, MEASURE_VAR, SUM_VAR, ViewDefinition
@@ -9,5 +9,6 @@ from .view import COUNT_VAR, MEASURE_VAR, SUM_VAR, ViewDefinition
 __all__ = [
     "ROLLUP_AGGREGATES", "AnalyticalFacet", "AnalyticalQuery",
     "COUNT_VAR", "FilterCondition", "MEASURE_VAR", "SUM_VAR",
-    "QB", "ViewDefinition", "ViewLattice", "facet_from_qb", "qb_datasets",
+    "QB", "RollupPlan", "RollupStep", "ViewDefinition", "ViewLattice",
+    "facet_from_qb", "qb_datasets",
 ]

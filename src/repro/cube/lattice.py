@@ -9,14 +9,48 @@ roll-up.
 
 from __future__ import annotations
 
-from typing import Iterator
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Optional
 
 from ..errors import CubeError
 from ..rdf.terms import Variable
 from .facet import AnalyticalFacet
 from .view import ViewDefinition
 
-__all__ = ["ViewLattice"]
+__all__ = ["RollupPlan", "RollupStep", "ViewLattice"]
+
+
+@dataclass(frozen=True)
+class RollupStep:
+    """One view of a materialization batch and the table it derives from.
+
+    ``source`` names the granularity (mask) whose group table this view
+    rolls up; it is either the batch's shared-scan grain or a finer view
+    built earlier in the plan.  ``source == mask`` means the shared table
+    already sits at this view's own grain (no merge needed).
+    """
+
+    mask: int
+    source: int
+
+
+@dataclass(frozen=True)
+class RollupPlan:
+    """A cheapest-ancestor build order over one materialization batch.
+
+    ``table_mask`` is the grain of the single shared scan (the union of
+    every requested mask — the coarsest table every batch member can
+    roll up from); ``steps`` list the views finest-first, each citing
+    the source granularity chosen at plan time.  Executors may re-choose
+    sources dynamically once actual group counts are known (see
+    :meth:`ViewLattice.cheapest_source`).
+    """
+
+    table_mask: int
+    steps: tuple[RollupStep, ...]
+
+    def __len__(self) -> int:
+        return len(self.steps)
 
 
 class ViewLattice:
@@ -113,6 +147,59 @@ class ViewLattice:
                       tuple[Variable, ...]) -> int:
         """Bitmask of the variables a query needs bound (group + filter)."""
         return self._facet.subset_mask(variables)
+
+    # -- rollup planning -------------------------------------------------------
+
+    @staticmethod
+    def cheapest_source(mask: int, available: Iterable[int],
+                        sizes: Optional[Mapping[int, int]] = None) -> int:
+        """The cheapest granularity in ``available`` that covers ``mask``.
+
+        A source covers ``mask`` when its variables are a superset
+        (``mask & m == mask``); among covering sources the smallest wins —
+        by actual group count when ``sizes`` is given (the dynamic,
+        build-time refinement), by dimension count otherwise (fewer extra
+        dimensions ≈ fewer groups).  Ties break on the mask itself, so
+        plans are deterministic.  Raises :class:`CubeError` when nothing
+        covers — callers must always keep the batch's union grain
+        available.
+        """
+        candidates = [m for m in available if (mask & m) == mask]
+        if not candidates:
+            raise CubeError(f"no available granularity covers mask {mask}")
+        if sizes is None:
+            return min(candidates, key=lambda m: (bin(m).count("1"), m))
+        return min(candidates,
+                   key=lambda m: (sizes[m], bin(m).count("1"), m))
+
+    @staticmethod
+    def rollup_plan(masks: Iterable[int]) -> RollupPlan:
+        """Order a materialization batch for shared-scan rollup.
+
+        Views build finest-first so every coarser view finds the
+        smallest already-built ancestor (or the shared-scan table at the
+        union grain) to aggregate from — Harinarayan-style lattice reuse
+        applied to the build itself.  Duplicate masks collapse; the
+        static source choice prefers the fewest-dimension cover and is
+        refined at build time via :meth:`cheapest_source` with real
+        group counts.
+        """
+        unique = sorted(set(masks), key=lambda m: (-bin(m).count("1"), m))
+        table_mask = 0
+        for m in unique:
+            table_mask |= m
+        steps: list[RollupStep] = []
+        available = [table_mask]
+        for mask in unique:
+            source = ViewLattice.cheapest_source(mask, available)
+            steps.append(RollupStep(mask=mask, source=source))
+            available.append(mask)
+        return RollupPlan(table_mask=table_mask, steps=tuple(steps))
+
+    def plan_materialization(self, views: Iterable[ViewDefinition]
+                             ) -> RollupPlan:
+        """:meth:`rollup_plan` over view definitions of this lattice."""
+        return self.rollup_plan(v.mask for v in views)
 
     def __repr__(self) -> str:
         return (f"<ViewLattice {self._facet.name!r} "

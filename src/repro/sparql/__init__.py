@@ -15,13 +15,15 @@ from .delta import DeltaEvaluator, DeltaPlan, GroupAdjustment, \
     compile_delta_plan
 from .engine import PreparedQuery, QueryEngine
 from .executor import Executor
+from .grouptable import GroupEntry, GroupTable, KIND_BY_AGGREGATE
 from .parser import parse_query
 from .reference import ReferenceExecutor
 from .results import ResultTable
 
 __all__ = [
     "AggregateExpr", "BindingBatch", "DeltaEvaluator", "DeltaPlan",
-    "Executor", "Expression", "GroupAdjustment", "GroupPattern",
+    "Executor", "Expression", "GroupAdjustment", "GroupEntry",
+    "GroupPattern", "GroupTable", "KIND_BY_AGGREGATE",
     "PreparedQuery", "ProjectionItem", "QueryEngine", "ReferenceExecutor",
     "ResultTable", "SelectQuery", "compile_delta_plan", "parse_query",
     "translate_group", "translate_query",

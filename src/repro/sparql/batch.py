@@ -92,6 +92,24 @@ class BindingBatch:
             return [()] * n
         return list(zip(*cols))
 
+    def group_rows(self, variables: Iterable[Variable]
+                   ) -> dict[tuple, list[int]]:
+        """Row indexes grouped by the id tuples of ``variables``.
+
+        Groups appear in first-row order and each member list is in row
+        order — the contract GROUP BY evaluation and group-table
+        extraction both rely on for deterministic, order-exact
+        aggregation.
+        """
+        groups: dict[tuple, list[int]] = {}
+        for i, key in enumerate(self.key_tuples(variables)):
+            members = groups.get(key)
+            if members is None:
+                groups[key] = [i]
+            else:
+                members.append(i)
+        return groups
+
     # -- derived batches -----------------------------------------------------
 
     def renumbered(self) -> "BindingBatch":

@@ -45,24 +45,13 @@ from .algebra import AlgebraOp, BGPOp, FilterOp, translate_group
 from .ast import Expression, VarExpr
 from .batch import BindingBatch
 from .executor import Executor
+from .grouptable import KIND_BY_AGGREGATE, KIND_COUNT, KIND_MINMAX, KIND_SUM
 from .values import to_number
 
 __all__ = ["DeltaPlan", "GroupAdjustment", "DeltaEvaluator",
            "KIND_BY_AGGREGATE", "compile_delta_plan"]
 
 IdTriple = tuple[int, int, int]
-
-#: Aggregate kinds the evaluator distinguishes.
-KIND_SUM = "sum"        # SUM facets and the (sum, count) half of AVG
-KIND_COUNT = "count"    # COUNT facets: the measure *is* the row count
-KIND_MINMAX = "minmax"  # MIN/MAX: insert-only candidate maintenance
-
-#: The single source of truth mapping rollup aggregates to their
-#: maintenance kind — shared with the view patcher so the evaluator and
-#: the group index can never disagree on maintainability.
-KIND_BY_AGGREGATE = {"SUM": KIND_SUM, "AVG": KIND_SUM,
-                     "COUNT": KIND_COUNT, "MIN": KIND_MINMAX,
-                     "MAX": KIND_MINMAX}
 
 
 class DeltaPlan:

@@ -139,6 +139,24 @@ class Executor:
         """Evaluate ``op`` and return the raw id-space result batch."""
         return self._eval(op, self._seed_batch(seed))
 
+    def group_table(self, op: AlgebraOp, keys: tuple[Variable, ...],
+                    operand: Optional[Variable], kind: str,
+                    keep_max: bool = False) -> "GroupTable":
+        """Evaluate ``op`` once and fold the raw id batch into a group table.
+
+        This is the shared-scan entry point of rollup materialization:
+        the facet pattern runs through the pipeline exactly once, and the
+        result batch is aggregated at the grain of ``keys`` *before any
+        term is decoded* — only distinct operand ids cross the term
+        boundary (for numeric/order coercion).  Coarser granularities
+        derive from the returned table via :meth:`GroupTable.project`
+        instead of re-running the query.
+        """
+        from .grouptable import GroupTable
+        batch = self.run_ids(op)
+        return GroupTable.from_batch(self, batch, keys, operand, kind,
+                                     keep_max)
+
     def run_batch(self, op: AlgebraOp, seed: BindingBatch) -> BindingBatch:
         """Evaluate ``op`` under an explicit id-space seed batch.
 
@@ -772,15 +790,15 @@ class Executor:
         if single_key:
             k = child.index.get(op.keys[0])
             keys = child.columns[k] if k is not None else [None] * n
+            groups: dict = {}
+            for i, key in enumerate(keys):
+                bucket = groups.get(key)
+                if bucket is None:
+                    groups[key] = [i]
+                else:
+                    bucket.append(i)
         else:
-            keys = child.key_tuples(op.keys)
-        groups: dict = {}
-        for i, key in enumerate(keys):
-            bucket = groups.get(key)
-            if bucket is None:
-                groups[key] = [i]
-            else:
-                bucket.append(i)
+            groups = child.group_rows(op.keys)
         if not groups and not op.keys:
             groups[()] = []  # implicit single group over empty input
 

@@ -8,17 +8,26 @@ storage-amplification panels read.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from ..errors import ViewError
 from ..rdf.dataset import Dataset
 from ..rdf.graph import Graph
+from ..cube.facet import AnalyticalFacet
+from ..cube.lattice import ViewLattice
 from ..cube.view import ViewDefinition
+from ..sparql.ast import VarExpr
+from ..sparql.grouptable import KIND_BY_AGGREGATE
 from ..sparql.engine import QueryEngine
-from .materializer import MaterializationStats, materialize_view
+from .materializer import MaterializationStats, materialize_view, \
+    materialize_view_from_table
 
 __all__ = ["MaterializedView", "ViewCatalog"]
+
+#: Sentinel: a facet whose aggregate cannot be derived from a group table.
+_UNSUPPORTED = object()
 
 
 @dataclass(frozen=True)
@@ -37,6 +46,7 @@ class MaterializedView:
     build_seconds: float
     base_version: int = 0
     maintain_seconds: float = 0.0
+    maintain_count: int = 0
 
     @property
     def mask(self) -> int:
@@ -45,6 +55,20 @@ class MaterializedView:
     @property
     def label(self) -> str:
         return self.definition.label
+
+    @property
+    def upkeep_seconds(self) -> float:
+        """Observed cost of keeping this view current, per window.
+
+        The *mean* incremental patching cost when the view has any
+        maintenance history (a total would penalize long-lived, cheaply
+        patched views), the full-rebuild cost otherwise — the
+        delta-aware signal the router uses to break ranking ties in
+        favour of views that are cheap to keep fresh.
+        """
+        if self.maintain_count > 0:
+            return self.maintain_seconds / self.maintain_count
+        return self.build_seconds
 
 
 class ViewCatalog:
@@ -100,9 +124,125 @@ class ViewCatalog:
         self._entries[view.mask] = entry
         return entry
 
-    def materialize_all(self, views: Iterator[ViewDefinition] |
-                        list[ViewDefinition]) -> list[MaterializedView]:
-        return [self.materialize(v) for v in views]
+    def materialize_all(self, views: Iterable[ViewDefinition]
+                        ) -> list[MaterializedView]:
+        """Materialize a batch of views through the rollup planner.
+
+        Instead of re-evaluating the facet query once per view, each
+        facet's batch evaluates its pattern **once** into an id-space
+        group table at the union grain and derives every view from that
+        table — or from the smallest already-built ancestor, chosen via
+        :meth:`ViewLattice.cheapest_source` with actual group counts
+        (facets outside the rollup class fall back to per-view builds).
+
+        The batch is atomic at the catalog level: if any view fails to
+        materialize, every view the batch already built is dropped
+        before the error propagates, so a failed batch never leaves the
+        catalog half-registered.  Entries return in input order.
+        """
+        batch = list(views)
+        seen: set[int] = set()
+        for view in batch:
+            if view.mask in self._entries or view.mask in seen:
+                raise ViewError(
+                    f"view {view.label!r} is already materialized")
+            seen.add(view.mask)
+        built: list[MaterializedView] = []
+        try:
+            self._materialize_batch(batch, built)
+        except BaseException:
+            for entry in reversed(built):
+                self.drop(entry.definition)
+            for view in batch:
+                # the in-flight view's (empty or partially written)
+                # target graph must not survive the rollback either
+                if view.mask not in self._entries:
+                    self._dataset.drop(view.iri)
+            raise
+        by_mask = {entry.mask: entry for entry in built}
+        return [by_mask[view.mask] for view in batch]
+
+    # -- the rollup build path ---------------------------------------------
+
+    def _materialize_batch(self, batch: list[ViewDefinition],
+                           built: list[MaterializedView]) -> None:
+        """Build a validated batch, appending entries as they land."""
+        by_facet: dict[AnalyticalFacet, list[ViewDefinition]] = {}
+        for view in batch:
+            by_facet.setdefault(view.facet, []).append(view)
+        for facet, group in by_facet.items():
+            if self._rollup_operand(facet) is not _UNSUPPORTED:
+                self._materialize_rollup(facet, group, built)
+            else:
+                for view in group:
+                    built.append(self.materialize(view))
+
+    def _rollup_operand(self, facet: AnalyticalFacet):
+        """The facet's measured variable (or None for COUNT(*)), or the
+        ``_UNSUPPORTED`` sentinel when the facet is outside the rollup
+        class: expression operands cannot be re-aggregated from a group
+        table, and a foreign-dictionary dataset cannot take id-native
+        writes."""
+        if self._dataset.dictionary is not self._engine.graph.dictionary:
+            return _UNSUPPORTED
+        operand = facet.aggregate.operand
+        if operand is None:
+            return None
+        if isinstance(operand, VarExpr):
+            return operand.var
+        return _UNSUPPORTED
+
+    def _materialize_rollup(self, facet: AnalyticalFacet,
+                            group: list[ViewDefinition],
+                            built: list[MaterializedView]) -> None:
+        """Shared-scan build of one facet's views, finest first."""
+        plan = ViewLattice.rollup_plan(v.mask for v in group)
+        engine = self._engine
+        executor = engine.executor
+        operand = self._rollup_operand(facet)
+        kind = KIND_BY_AGGREGATE[facet.aggregate.name]
+
+        scan_start = time.perf_counter()
+        prepared = engine.prepare(facet.binding_query())
+        table = executor.group_table(
+            prepared.plan, facet.mask_variables(plan.table_mask), operand,
+            kind, keep_max=facet.aggregate.name == "MAX")
+        scan_seconds = time.perf_counter() - scan_start
+
+        tables = {plan.table_mask: table}
+        views_by_mask = {v.mask: v for v in group}
+        for step in plan.steps:
+            view = views_by_mask[step.mask]
+            source_mask = ViewLattice.cheapest_source(
+                step.mask, tables,
+                sizes={m: len(t) for m, t in tables.items()})
+            source = tables[source_mask]
+            if source.variables != view.variables:
+                source = source.project_variables(view.variables)
+            tables[step.mask] = source
+            target = self._dataset.graph(view.iri)
+            stats, index = materialize_view_from_table(
+                view, engine, target, source)
+            entry = MaterializedView(
+                definition=view,
+                groups=stats.groups,
+                triples=stats.triples,
+                nodes=stats.nodes,
+                # The shared scan is paid once for the whole batch; each
+                # view carries an equal share so per-view build costs
+                # stay comparable (and total_build_seconds ≈ wall time).
+                build_seconds=stats.build_seconds
+                + scan_seconds / len(plan.steps),
+                base_version=engine.graph.version,
+            )
+            self._entries[view.mask] = entry
+            if index is not None:
+                # Seed incremental maintenance: a maintainer adopting
+                # this index can patch the view without a graph scan.
+                self.restored_group_indexes[view.mask] = index
+            else:
+                self.restored_group_indexes.pop(view.mask, None)
+            built.append(entry)
 
     def drop(self, view: ViewDefinition) -> bool:
         """Drop a view's graph and catalog entry."""
@@ -159,6 +299,7 @@ class ViewCatalog:
             build_seconds=entry.build_seconds,
             base_version=self._engine.graph.version,
             maintain_seconds=entry.maintain_seconds + seconds,
+            maintain_count=entry.maintain_count + 1,
         )
         self._entries[view.mask] = updated
         return updated
@@ -207,9 +348,27 @@ class ViewCatalog:
         return entry
 
     def refresh_stale(self) -> list[MaterializedView]:
-        """Rebuild every stale view; returns the refreshed entries."""
-        return [self.refresh(entry.definition)
-                for entry in self.stale_views()]
+        """Rebuild every stale view as one plan-driven batch.
+
+        Stale view graphs are cleared *in place* (holders of the graph
+        objects observe the fresh data, exactly like :meth:`refresh`),
+        then rebuilt together through :meth:`materialize_all` — one
+        shared scan per facet instead of one per view.  Returns the
+        refreshed entries.  On a mid-batch failure the batch's rollback
+        drops the affected views entirely rather than leaving a mix of
+        stale and fresh registrations.
+        """
+        stale = self.stale_views()
+        if not stale:
+            return []
+        views: list[ViewDefinition] = []
+        for entry in stale:
+            view = entry.definition
+            self._dataset.graph(view.iri).clear()
+            del self._entries[view.mask]
+            self.restored_group_indexes.pop(view.mask, None)
+            views.append(view)
+        return self.materialize_all(views)
 
     # -- storage accounting -------------------------------------------------------
 

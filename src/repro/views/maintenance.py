@@ -377,8 +377,16 @@ class ViewMaintainer:
         index = self._indexes.get(view.mask)
         expected = aggregate_kind(view.facet.aggregate.name)
         if index is None or index.kind != expected:
-            index = GroupIndex.from_graph(view,
-                                          self._catalog.graph_of(view))
+            # Rollup (re)builds deposit the freshly-encoded group index
+            # on the catalog; adopting it (consuming, like construction
+            # does) saves the view-graph scan.  Anything else re-scans.
+            restored = self._catalog.restored_group_indexes.pop(
+                view.mask, None)
+            if isinstance(restored, GroupIndex) and restored.kind == expected:
+                index = restored
+            else:
+                index = GroupIndex.from_graph(view,
+                                              self._catalog.graph_of(view))
             self._indexes[view.mask] = index
         return index
 

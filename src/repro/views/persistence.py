@@ -132,6 +132,7 @@ def save_expanded(catalog: ViewCatalog, directory: str) -> None:
             "nodes": entry.nodes,
             "build_seconds": entry.build_seconds,
             "maintain_seconds": entry.maintain_seconds,
+            "maintain_count": entry.maintain_count,
             "base_version": entry.base_version,
             "stale": entry.base_version != current,
             "group_index": _serialize_group_index(entry, catalog),
@@ -198,6 +199,7 @@ def load_expanded(directory: str, facet: AnalyticalFacet
             build_seconds=float(item["build_seconds"]),
             base_version=-1 if stale else version,
             maintain_seconds=float(item.get("maintain_seconds", 0.0)),
+            maintain_count=int(item.get("maintain_count", 0)),
         )
         catalog._entries[definition.mask] = entry
         index_payload = item.get("group_index")

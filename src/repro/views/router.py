@@ -51,7 +51,18 @@ class ViewRouter:
         return self._skip_stale
 
     def candidates(self, query: AnalyticalQuery) -> list[MaterializedView]:
-        """All usable views, cheapest first (deterministic tie-break)."""
+        """All usable views, cheapest first.
+
+        Ranking ties break *delta-aware* before falling back to mask
+        order: among equally-ranked views the one with the lowest
+        observed upkeep cost wins — mean patching cost per window when
+        the view has maintenance history, build cost otherwise — so
+        routing drifts toward views that stay fresh cheaply while the
+        graph changes.  (Upkeep is measured wall-clock, so this layer of
+        the tie-break reflects the current process's observations; the
+        final mask comparison keeps the order fully deterministic when
+        histories agree.)
+        """
         usable = [entry for entry in
                   self._catalog.covering(query.required_mask)
                   if entry.definition.facet == query.facet]
@@ -59,7 +70,8 @@ class ViewRouter:
             current = self._catalog.base_version
             usable = [entry for entry in usable
                       if entry.base_version == current]
-        usable.sort(key=lambda e: (self._ranking(e), e.mask))
+        usable.sort(key=lambda e: (self._ranking(e), e.upkeep_seconds,
+                                   e.mask))
         return usable
 
     def route(self, query: AnalyticalQuery) -> Optional[MaterializedView]:
