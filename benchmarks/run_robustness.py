@@ -1,0 +1,303 @@
+"""Robustness benchmark: maintenance under randomized fault injection.
+
+For each demo dataset the suite builds a catalog (three lattice views)
+plus a :class:`ViewMaintainer`, then drives the PR-2 deterministic
+insert/delete update stream while a seeded schedule arms failpoints from
+:data:`repro.resilience.failpoints.KNOWN_FAILPOINTS` — injected errors
+and simulated crashes landing mid-patch, mid-refresh, and mid-bulk-op.
+After every window the harness clears the faults, runs one recovery
+synchronize, and asserts the views are triple-for-triple equal (up to
+blank-node labels) to a twin world maintained by clean rebuilds; at the
+end of each stream the routed answers are checked against the seed
+:class:`ReferenceExecutor` on the base graph.
+
+A separate scenario exercises the crash-safe persistence path: save,
+rebuild a view, kill the second save between its two file renames, then
+recover from the checksummed v3 manifest — only the unsaved view may
+come back stale.
+
+Writes ``BENCH_robustness.json`` at the repo root: per dataset the
+windows survived, faults fired, rollbacks, fallback rebuilds and
+quarantines observed, and the median recovery time; plus the persistence
+scenario's salvage outcome.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_robustness.py [--smoke] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import statistics
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.core import OnlineModule
+from repro.cube import AnalyticalQuery, ViewLattice
+from repro.datasets import load_dataset
+from repro.errors import CatalogCorruptError, FailpointError, SimulatedCrash
+from repro.rdf import Dataset
+from repro.resilience import failpoints
+from repro.sparql import QueryEngine, ReferenceExecutor, ResultTable
+from repro.views import ViewCatalog, ViewMaintainer, load_expanded, \
+    save_expanded
+from repro.workload import UpdateStreamConfig, UpdateStreamGenerator
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
+
+#: Failpoints the schedule draws from — every point that can fire while a
+#: maintenance window reconciles views (persistence points run in their
+#: own scenario).
+FAULT_POOL = (
+    "maintenance.synchronize.window",
+    "maintenance.patch.before_apply",
+    "maintenance.patch.between_bulk_ops",
+    "graph.add_ids_bulk",
+    "graph.remove_ids_bulk",
+    "catalog.refresh",
+)
+
+#: One in ``CLEAN_WINDOW_RATIO`` windows runs fault-free, so the stream
+#: also covers the un-instrumented fast path.
+CLEAN_WINDOW_RATIO = 4
+
+
+def group_signatures(graph):
+    """Multiset of per-group (p, o) signatures — blank-label-free equality."""
+    by_node: dict = {}
+    for t in graph:
+        by_node.setdefault(t.s, []).append((t.p, t.o))
+    signatures: dict[frozenset, int] = {}
+    for po in by_node.values():
+        key = frozenset(po)
+        signatures[key] = signatures.get(key, 0) + 1
+    return signatures
+
+
+def _build_world(graph, facet, view_count: int):
+    catalog = ViewCatalog(Dataset.wrap(graph))
+    lattice = ViewLattice(facet)
+    views = [lattice.finest, lattice.apex]
+    views += [v for v in lattice if v not in (lattice.finest, lattice.apex)]
+    views = views[:view_count]
+    for view in views:
+        catalog.materialize(view)
+    return catalog, views
+
+
+def _assert_parity(catalog, shadow_catalog, views, dataset_name, window):
+    for view in views:
+        got = group_signatures(catalog.graph_of(view))
+        want = group_signatures(shadow_catalog.graph_of(view))
+        if got != want:
+            raise AssertionError(
+                f"robustness divergence: {dataset_name} view {view.label} "
+                f"after window {window}")
+
+
+def _assert_reference_parity(catalog, base, facet, views):
+    """Routed answers must match the seed reference executor on G."""
+    online = OnlineModule(catalog)
+    reference = ReferenceExecutor(base)
+    engine = QueryEngine(base)
+    for view in views:
+        query = AnalyticalQuery(facet, view.mask)
+        answer = online.answer(query)
+        prepared = engine.prepare(query.to_select_query())
+        want = ResultTable.from_bindings(
+            prepared.ast.projected_variables(),
+            reference.run(prepared.plan))
+        if not answer.table.same_solutions(want):
+            raise AssertionError(
+                f"reference divergence on view {view.label}")
+
+
+def run_stream(dataset_name: str, scale: str, windows: int,
+               view_count: int = 3, seed: int = 17) -> dict:
+    """Drive one fault-injected update stream; returns its metrics."""
+    loaded = load_dataset(dataset_name, scale)
+    facet = loaded.facet()
+    base = loaded.graph
+    shadow = base.copy()
+
+    catalog, views = _build_world(base, facet, view_count)
+    shadow_catalog, _ = _build_world(shadow, facet, view_count)
+    maintainer = ViewMaintainer(catalog)
+
+    generator = UpdateStreamGenerator(base, UpdateStreamConfig(
+        batches=windows, operations_per_batch=5, seed=seed))
+    rng = random.Random(seed)
+
+    survived = 0
+    crashes = 0
+    injected = 0
+    fallback_rebuilds = 0
+    quarantines = 0
+    rollbacks = 0
+    recovery_times: list[float] = []
+    for batch in generator.stream(apply=False):
+        batch.apply_to(base)
+        batch.apply_to(shadow)
+
+        if rng.randrange(CLEAN_WINDOW_RATIO):
+            point = rng.choice(FAULT_POOL)
+            mode = rng.choice(("error", "error", "crash"))
+            failpoints.arm(point, mode)
+            injected += 1
+        try:
+            report = maintainer.synchronize()
+        except SimulatedCrash:
+            crashes += 1
+        except FailpointError:
+            pass
+        else:
+            survived += 1
+            rollbacks += report.rollbacks
+            fallback_rebuilds += len(report.rebuilt)
+            quarantines += len(report.quarantined)
+
+        # "restart": clear the faults, reconcile whatever the failure
+        # left stale or quarantined, and verify against the clean twin
+        failpoints.reset()
+        start = time.perf_counter()
+        report = maintainer.synchronize()
+        recovery_times.append(time.perf_counter() - start)
+        rollbacks += report.rollbacks
+        fallback_rebuilds += len(report.rebuilt)
+        quarantines += len(report.quarantined)
+        if catalog.stale_views() or catalog.quarantined_views():
+            raise AssertionError(
+                f"{dataset_name}: views still unreconciled after recovery "
+                f"window {batch.index}")
+
+        shadow_catalog.refresh_stale()
+        _assert_parity(catalog, shadow_catalog, views, dataset_name,
+                       batch.index)
+
+    _assert_reference_parity(catalog, base, facet, views)
+    maintainer.close()
+    return {
+        "dataset": {"name": f"{dataset_name}-{scale}",
+                    "triples": len(base)},
+        "views": [v.label for v in views],
+        "windows": windows,
+        "faults_injected": injected,
+        "windows_survived_first_try": survived,
+        "simulated_crashes": crashes,
+        "rollbacks": rollbacks,
+        "fallback_rebuilds": fallback_rebuilds,
+        "quarantines": quarantines,
+        "recovery_ms_median": round(
+            statistics.median(recovery_times) * 1e3, 3),
+        "parity": "ok",
+    }
+
+
+def run_persistence_scenario(scale: str, seed: int = 17) -> dict:
+    """Kill-after-save: recover from a mixed-generation save directory."""
+    loaded = load_dataset("dbpedia", scale)
+    facet = loaded.facet()
+    catalog, views = _build_world(loaded.graph, facet, view_count=3)
+    rng = random.Random(seed)
+
+    with tempfile.TemporaryDirectory(prefix="bench_robustness_") as outdir:
+        save_expanded(catalog, outdir)
+        # one view rebuilds between the saves: fresh blank nodes mean the
+        # old manifest's checksum no longer covers it
+        refreshed = rng.choice(views)
+        catalog.refresh(refreshed)
+        failpoints.arm("persistence.save.between_files", mode="crash")
+        try:
+            save_expanded(catalog, outdir)
+            raise AssertionError("the injected crash did not fire")
+        except SimulatedCrash:
+            pass
+        finally:
+            failpoints.reset()
+
+        strict_error = None
+        try:
+            load_expanded(outdir, facet)
+        except CatalogCorruptError as exc:
+            strict_error = exc
+        if strict_error is None:
+            raise AssertionError("mixed-generation save loaded unverified")
+
+        start = time.perf_counter()
+        _dataset, recovered = load_expanded(outdir, facet, recover=True)
+        recovered.refresh_stale()
+        recovery_seconds = time.perf_counter() - start
+        recovery = recovered.recovery
+        if set(recovery.rebuilding) != {refreshed.label}:
+            raise AssertionError(
+                f"expected only {refreshed.label!r} to rebuild, got "
+                f"{recovery.rebuilding}")
+        _assert_reference_parity(recovered, _dataset.default, facet, views)
+    return {
+        "rebuilt_view": refreshed.label,
+        "salvageable_reported": sorted(strict_error.salvageable),
+        "views_intact": len(recovery.intact),
+        "views_rebuilt": len(recovery.rebuilding),
+        "base_verified": recovery.base_verified,
+        "recovery_ms": round(recovery_seconds * 1e3, 3),
+        "parity": "ok",
+    }
+
+
+def run_suites(smoke: bool = False) -> dict:
+    scale = "tiny" if smoke else "demo"
+    windows = 4 if smoke else 12
+    suites: dict[str, dict] = {}
+    for name in ("dbpedia", "lubm", "swdf"):
+        suites[name] = run_stream(name, scale, windows)
+    return suites
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast CI pass: tiny scales, fewer windows")
+    parser.add_argument("--out", default=os.path.join(
+        REPO_ROOT, "BENCH_robustness.json"))
+    args = parser.parse_args(argv)
+
+    scale = "tiny" if args.smoke else "demo"
+    suites = run_suites(smoke=args.smoke)
+    persistence = run_persistence_scenario(scale)
+    payload = {
+        "benchmark": "robustness",
+        "mode": "smoke" if args.smoke else "full",
+        "fault_pool": list(FAULT_POOL),
+        "python": sys.version.split()[0],
+        "suites": suites,
+        "persistence_recovery": persistence,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    width = max(len(k) for k in suites)
+    print(f"{'stream'.ljust(width)}  faults  crashes  rollbacks  rebuilds  "
+          "quarantines  recovery ms")
+    for key, suite in suites.items():
+        print(f"{key.ljust(width)}  {suite['faults_injected']:>6}  "
+              f"{suite['simulated_crashes']:>7}  {suite['rollbacks']:>9}  "
+              f"{suite['fallback_rebuilds']:>8}  "
+              f"{suite['quarantines']:>11}  "
+              f"{suite['recovery_ms_median']:>11.2f}")
+    print(f"persistence recovery: {persistence['views_intact']} intact, "
+          f"{persistence['views_rebuilt']} rebuilt "
+          f"({persistence['rebuilt_view']}), parity ok "
+          f"(written to {os.path.relpath(args.out, REPO_ROOT)})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -60,6 +60,32 @@ for query in sofos.generate_workload(5):
         sofos.answer_from_base(query).table)
 print("all workload answers match the base graph again.\n")
 
+# -- 1b. corruption degrades serving; it never corrupts answers -------------
+# Simulate a torn write / bit flip inside one view graph, out of band.
+from repro.cube import AnalyticalQuery
+
+# corrupt the finest view, so no other view can cover its queries
+victim = max((entry.definition for entry in catalog), key=lambda v: v.mask)
+view_graph = catalog.graph_of(victim)
+view_graph.discard(next(iter(view_graph)))
+
+audit = sofos.audit()                  # recompute + compare + quarantine
+print(f"audit: quarantined {audit.quarantined} "
+      f"({len(audit.ok)} view(s) verified clean)")
+
+query = AnalyticalQuery(facet, victim.mask)
+answer = sofos.answer(query)
+# degraded = the quarantined view was skipped and the base graph answered:
+# slower than the view, but correct — never served from corrupt data
+assert answer.degraded and answer.used_view is None
+assert answer.table.same_solutions(sofos.answer_from_base(query).table)
+print(f"while quarantined: degraded={answer.degraded}, served from base")
+
+sofos.maintain()                       # the next cycle rebuilds it
+answer = sofos.answer(query)
+assert not answer.degraded
+print(f"after maintain: served from {answer.used_view} again\n")
+
 # -- 2. raw SPARQL: matching vs non-matching -------------------------------
 matching = """
 PREFIX dbp: <http://dbpedia.org/ontology/>

@@ -28,7 +28,9 @@ from .cost import AggregatedValuesCost, CostModel, LatticeProfile, \
 from .cube import AnalyticalFacet, AnalyticalQuery, FilterCondition, \
     ViewDefinition, ViewLattice
 from .datasets import load_dataset
-from .errors import ReproError
+from .errors import CatalogCorruptError, FailpointError, ReproError, \
+    SimulatedCrash
+from .resilience import ConsistencyAuditor, failpoints
 from .rdf import Dataset, Graph, IRI, Literal, Namespace, Triple, Variable, \
     parse_ntriples, parse_turtle, serialize_ntriples, serialize_turtle, \
     typed_literal
@@ -43,8 +45,10 @@ __version__ = "1.0.0"
 __all__ = [
     "AggregatedValuesCost", "AnalyticalFacet", "AnalyticalQuery",
     "AnnealingSelector", "Answer",
-    "ComparisonReport", "ComparisonRow", "CostModel", "DEFAULT_MODELS",
-    "Dataset", "ExhaustiveSelector", "FilterCondition", "Graph",
+    "CatalogCorruptError", "ComparisonReport", "ComparisonRow",
+    "ConsistencyAuditor", "CostModel", "DEFAULT_MODELS",
+    "Dataset", "ExhaustiveSelector", "FailpointError", "FilterCondition",
+    "Graph", "SimulatedCrash", "failpoints",
     "GreedySelector", "IRI", "LatticeProfile", "LearnedCost", "Literal",
     "Namespace", "NodeCountCost", "QueryEngine", "QueryOutcome",
     "RandomCost", "ReproError", "ResultTable", "SelectionResult", "Sofos",

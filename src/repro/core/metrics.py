@@ -48,6 +48,11 @@ class QueryOutcome:
     #: True when the answer came from a view built against an older base
     #: graph (deferred-maintenance snapshot serving).
     stale: bool = False
+    #: True when a view that would normally have answered this query is
+    #: quarantined (failed an audit or a rebuild), so the answer fell
+    #: back to the base graph or a coarser view.  The answer itself is
+    #: still correct — degraded refers to latency, not accuracy.
+    degraded: bool = False
 
     @property
     def used_view(self) -> bool:

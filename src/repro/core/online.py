@@ -56,6 +56,11 @@ class Answer:
         """True when the answer reflects an older base-graph snapshot."""
         return self.outcome.stale
 
+    @property
+    def degraded(self) -> bool:
+        """True when a quarantined view forced a slower-but-correct path."""
+        return self.outcome.degraded
+
 
 class OnlineModule:
     """Routes, rewrites, executes, and measures analytical queries."""
@@ -137,11 +142,15 @@ class OnlineModule:
         Stale routed views are repaired according to the module's
         maintenance policy; under ``"deferred"`` (or no policy with
         ``skip_stale`` disabled) the frozen snapshot answers and the
-        outcome carries ``stale=True`` so callers can see it.
+        outcome carries ``stale=True`` so callers can see it.  When a
+        quarantined view would normally have answered, the outcome is
+        flagged ``degraded``: the answer (base graph or coarser view) is
+        still correct, just slower, until the quarantined view rebuilds.
         """
+        degraded = bool(self._router.quarantined_candidates(query))
         entry = self._router.route(query)
         if entry is None:
-            return self.answer_from_base(query)
+            return self.answer_from_base(query, degraded=degraded)
         view = entry.definition
         if self._catalog.is_stale(view):
             self._repair(view)
@@ -160,10 +169,12 @@ class OnlineModule:
             view_label=view.label,
             rewrite_seconds=rewrite_seconds,
             stale=self._catalog.is_stale(view),
+            degraded=degraded,
         )
         return Answer(table=table, outcome=outcome)
 
-    def answer_from_base(self, query: AnalyticalQuery) -> Answer:
+    def answer_from_base(self, query: AnalyticalQuery,
+                         degraded: bool = False) -> Answer:
         """Answer directly from the base graph (the no-view fallback)."""
         prepared = self._base_engine.prepare(query.to_select_query())
         table, exec_seconds = self._base_engine.timed_query(prepared)
@@ -172,6 +183,7 @@ class OnlineModule:
             rows=len(table),
             seconds=exec_seconds,
             view_label=None,
+            degraded=degraded,
         )
         return Answer(table=table, outcome=outcome)
 

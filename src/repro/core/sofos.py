@@ -171,6 +171,28 @@ class Sofos:
                 seconds=entry.build_seconds, reason="rebuild policy"))
         return report
 
+    def audit(self, *, sample_groups: int | None = None,
+              quarantine: bool = True):
+        """Cross-check every view against recomputed ground truth.
+
+        Runs a :class:`~repro.resilience.audit.ConsistencyAuditor` over
+        the catalog: each fresh view's graph is compared with a recomputed
+        aggregation of the current base graph (all groups, or a seeded
+        sample of ``sample_groups``) and with the maintainer's cached
+        group index.  Corrupt views are quarantined (unless
+        ``quarantine=False``) so routing degrades to the base graph until
+        :meth:`maintain` or :meth:`refresh_views` rebuilds them.  Returns
+        the :class:`~repro.resilience.audit.AuditReport`.
+        """
+        if self._catalog is None:
+            raise ReproError(
+                "no views are materialized; nothing to audit")
+        from ..resilience.audit import ConsistencyAuditor
+        auditor = ConsistencyAuditor(self._catalog, self._maintainer,
+                                     sample_groups=sample_groups,
+                                     seed=self._seed)
+        return auditor.audit(quarantine=quarantine)
+
     def memory_report(self) -> dict[str, int]:
         """Estimated bytes per graph of the expanded dataset (G and views)."""
         from ..rdf.memory import dataset_memory_report

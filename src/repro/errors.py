@@ -76,6 +76,56 @@ class RewriteError(ViewError):
     """A query could not be rewritten against a materialized view."""
 
 
+class CatalogCorruptError(ViewError):
+    """A persisted expanded dataset failed validation on load.
+
+    Raised for malformed or truncated manifests and for checksum
+    mismatches between the manifest and the dataset file.  ``path`` names
+    the offending file (also embedded in the message) and ``salvageable``
+    lists the labels of views whose stored graphs still verify against
+    the manifest — the set ``load_expanded(..., recover=True)`` can load
+    intact while marking everything else stale-for-rebuild.
+    """
+
+    def __init__(self, message: str, path: str | None = None,
+                 salvageable: tuple[str, ...] = ()) -> None:
+        super().__init__(message)
+        self.path = path
+        self.salvageable = tuple(salvageable)
+
+
+class ResilienceError(ReproError):
+    """Base class for errors in the fault-injection/resilience layer."""
+
+
+class FailpointError(ResilienceError):
+    """An armed failpoint fired in ``error`` mode (an injected fault).
+
+    Recovery paths treat this exactly like any runtime failure — the
+    whole point of the failpoint registry is that injected and organic
+    errors exercise the same rollback code.
+    """
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"injected fault at failpoint {name!r}")
+        self.name = name
+
+
+class SimulatedCrash(BaseException):
+    """An armed failpoint fired in ``crash`` mode (a simulated kill).
+
+    Deliberately **not** a :class:`ReproError` — not even an
+    :class:`Exception` — so that recovery code catching ``Exception``
+    cannot swallow a simulated process death, exactly as it could not
+    catch a real one.  Only test/benchmark harnesses should catch it, at
+    the point standing in for process re-start.
+    """
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"simulated crash at failpoint {name!r}")
+        self.name = name
+
+
 class CostModelError(ReproError):
     """A cost model was misconfigured or asked to estimate an unknown view."""
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 import weakref
 from typing import Iterable, Iterator, Optional
 
+from ..resilience.failpoints import fail_at
 from .changelog import ChangeLog, DEFAULT_CHANGELOG_LIMIT
 from .dictionary import TermDictionary
 from .terms import IRI, BlankNode, Literal, Term, Variable
@@ -178,6 +179,7 @@ class Graph:
         triples actually inserted (duplicates are skipped), and bumps the
         version once iff anything was inserted.
         """
+        fail_at("graph.add_ids_bulk")
         spo, pos, osp = self._spo, self._pos, self._osp
         pred_counts = self._pred_counts
         logs = self._live_logs() if self._logs else []
@@ -251,6 +253,7 @@ class Graph:
         returns the number of triples actually removed (absent triples are
         skipped), and bumps the version once iff anything was removed.
         """
+        fail_at("graph.remove_ids_bulk")
         spo, pos, osp = self._spo, self._pos, self._osp
         pred_counts = self._pred_counts
         logs = self._live_logs() if self._logs else []
@@ -347,6 +350,16 @@ class Graph:
             for pid, level2 in level1.items():
                 for oid in level2:
                     yield (sid, pid, oid)
+
+    def snapshot_ids(self) -> list[tuple[int, int, int]]:
+        """The full id-triple content, materialized as a list.
+
+        The undo-log primitive of transactional upkeep: capture before a
+        risky in-place rewrite, restore after a failure with ``clear()``
+        + ``add_ids_bulk(snapshot)`` (ids stay valid across the round
+        trip because the dictionary is append-only).
+        """
+        return list(self._iter_ids())
 
     def match_ids(self, sid: Optional[int], pid: Optional[int],
                   oid: Optional[int]) -> Iterator[tuple[int, int, int]]:

@@ -15,7 +15,8 @@ from .ntriples import _parse_term
 from .terms import IRI
 from .triples import Quad, Triple
 
-__all__ = ["parse_nquads", "serialize_nquads", "iter_nquads"]
+__all__ = ["parse_nquads", "serialize_nquads", "serialize_graph_lines",
+           "iter_nquads"]
 
 
 def iter_nquads(lines: Iterable[str]) -> Iterator[Quad]:
@@ -51,13 +52,29 @@ def parse_nquads(text: str, dataset: Dataset | None = None) -> Dataset:
     return dataset
 
 
-def serialize_nquads(dataset: Dataset) -> str:
-    """Serialize a dataset deterministically (sorted lines)."""
-    lines = []
+def serialize_graph_lines(dataset: Dataset) -> dict[str, list[str]]:
+    """Serialized N-Quads lines per component graph, each sorted.
+
+    Keys are graph IRI values ("" for the default graph); named-graph
+    lines carry their graph label, exactly as :func:`serialize_nquads`
+    emits them.  The per-graph split is what lets the persistence layer
+    checksum each materialized view independently.
+    """
+    by_graph: dict[str, list[str]] = {}
     for quad in dataset.quads():
         parts = [quad.s.n3(), quad.p.n3(), quad.o.n3()]
         if quad.graph is not None:
             parts.append(quad.graph.n3())
-        lines.append(" ".join(parts) + " .")
+        key = quad.graph.value if quad.graph is not None else ""
+        by_graph.setdefault(key, []).append(" ".join(parts) + " .")
+    for lines in by_graph.values():
+        lines.sort()
+    return by_graph
+
+
+def serialize_nquads(dataset: Dataset) -> str:
+    """Serialize a dataset deterministically (sorted lines)."""
+    lines = [line for graph_lines in serialize_graph_lines(dataset).values()
+             for line in graph_lines]
     lines.sort()
     return "\n".join(lines) + ("\n" if lines else "")

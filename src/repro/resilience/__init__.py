@@ -1,0 +1,41 @@
+"""Fault injection, transactional upkeep support, and consistency audits.
+
+``failpoints`` is imported eagerly — it has no dependencies beyond
+``repro.errors`` and is wired into the rdf/views hot paths.  The auditor
+imports the sparql and views layers, which themselves import the graph
+(and therefore this package's failpoints), so it is exposed lazily to
+keep the import graph acyclic.
+"""
+
+from __future__ import annotations
+
+from . import failpoints
+from .failpoints import KNOWN_FAILPOINTS, Failpoint, arm, armed, \
+    armed_names, disarm, fail_at, is_armed, reset, state, suppressed
+
+__all__ = [
+    "KNOWN_FAILPOINTS",
+    "AuditReport",
+    "ConsistencyAuditor",
+    "Failpoint",
+    "ViewAudit",
+    "arm",
+    "armed",
+    "armed_names",
+    "disarm",
+    "fail_at",
+    "failpoints",
+    "is_armed",
+    "reset",
+    "state",
+    "suppressed",
+]
+
+_AUDIT_NAMES = ("AuditReport", "ConsistencyAuditor", "ViewAudit")
+
+
+def __getattr__(name: str):
+    if name in _AUDIT_NAMES:
+        from . import audit
+        return getattr(audit, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

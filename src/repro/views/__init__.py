@@ -4,14 +4,15 @@ from .analyzer import analyze_query, match_report
 from .catalog import MaterializedView, ViewCatalog
 from .maintenance import MAINTENANCE_POLICIES, GroupIndex, \
     MaintenanceReport, ViewMaintainer, ViewMaintenance
-from .persistence import load_expanded, save_expanded
+from .persistence import CatalogRecovery, load_expanded, save_expanded
 from .materializer import MaterializationStats, dimension_predicate, \
     materialize_view, materialize_view_from_table
 from .rewriter import can_answer, rewrite_on_view
 from .router import ViewRouter
 
 __all__ = [
-    "MAINTENANCE_POLICIES", "GroupIndex", "MaintenanceReport",
+    "MAINTENANCE_POLICIES", "CatalogRecovery", "GroupIndex",
+    "MaintenanceReport",
     "MaterializationStats", "ViewMaintainer", "ViewMaintenance",
     "analyze_query", "match_report", "MaterializedView", "ViewCatalog",
     "ViewRouter",

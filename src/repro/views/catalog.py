@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from ..errors import ViewError
+from ..resilience.failpoints import fail_at, suppressed
 from ..rdf.dataset import Dataset
 from ..rdf.graph import Graph
 from ..cube.facet import AnalyticalFacet
@@ -84,6 +85,13 @@ class ViewCatalog:
         # ViewMaintainer attached to this catalog adopts them so loaded
         # views can be patched without a fresh view-graph scan.
         self.restored_group_indexes: dict[int, object] = {}
+        # Views the auditor (or a failed rebuild) has pulled from serving:
+        # mask → human-readable reason.  Routing skips them like stale
+        # views; refresh clears the flag on a successful rebuild.
+        self._quarantined: dict[int, str] = {}
+        # Set by persistence.load_expanded(recover=True) to describe what
+        # survived a corrupted on-disk catalog (a CatalogRecovery).
+        self.recovery: object | None = None
 
     @property
     def dataset(self) -> Dataset:
@@ -110,6 +118,7 @@ class ViewCatalog:
         """Build one view into its named graph and register it."""
         if view.mask in self._entries:
             raise ViewError(f"view {view.label!r} is already materialized")
+        fail_at("catalog.materialize.view")
         target = self._dataset.graph(view.iri)
         stats: MaterializationStats = materialize_view(
             view, self._engine, target)
@@ -138,7 +147,11 @@ class ViewCatalog:
         The batch is atomic at the catalog level: if any view fails to
         materialize, every view the batch already built is dropped
         before the error propagates, so a failed batch never leaves the
-        catalog half-registered.  Entries return in input order.
+        catalog half-registered.  Target graphs that already existed in
+        the dataset (a :meth:`refresh_stale` rebuild-in-place) are
+        cleared rather than dropped, so cached engine references stay
+        valid and the caller can restore a snapshot into them.  Entries
+        return in input order.
         """
         batch = list(views)
         seen: set[int] = set()
@@ -147,17 +160,25 @@ class ViewCatalog:
                 raise ViewError(
                     f"view {view.label!r} is already materialized")
             seen.add(view.mask)
+        fail_at("catalog.materialize_all")
+        pre_existing = {view.mask for view in batch
+                        if self._dataset.get_graph(view.iri) is not None}
         built: list[MaterializedView] = []
         try:
             self._materialize_batch(batch, built)
         except BaseException:
-            for entry in reversed(built):
-                self.drop(entry.definition)
-            for view in batch:
-                # the in-flight view's (empty or partially written)
-                # target graph must not survive the rollback either
-                if view.mask not in self._entries:
-                    self._dataset.drop(view.iri)
+            with suppressed():
+                for view in batch:
+                    self._entries.pop(view.mask, None)
+                    self.restored_group_indexes.pop(view.mask, None)
+                    if view.mask in pre_existing:
+                        graph = self._dataset.get_graph(view.iri)
+                        if graph is not None:
+                            graph.clear()
+                    else:
+                        # the in-flight view's (empty or partially
+                        # written) target graph must not survive either
+                        self._dataset.drop(view.iri)
             raise
         by_mask = {entry.mask: entry for entry in built}
         return [by_mask[view.mask] for view in batch]
@@ -212,6 +233,7 @@ class ViewCatalog:
         tables = {plan.table_mask: table}
         views_by_mask = {v.mask: v for v in group}
         for step in plan.steps:
+            fail_at("catalog.materialize.view")
             view = views_by_mask[step.mask]
             source_mask = ViewLattice.cheapest_source(
                 step.mask, tables,
@@ -245,9 +267,10 @@ class ViewCatalog:
             built.append(entry)
 
     def drop(self, view: ViewDefinition) -> bool:
-        """Drop a view's graph and catalog entry."""
+        """Drop a view's graph, catalog entry, and any quarantine flag."""
         self._entries.pop(view.mask, None)
         self.restored_group_indexes.pop(view.mask, None)
+        self._quarantined.pop(view.mask, None)
         return self._dataset.drop(view.iri)
 
     def drop_all(self) -> None:
@@ -320,22 +343,67 @@ class ViewCatalog:
         current = self._engine.graph.version
         return [entry for entry in self if entry.base_version != current]
 
+    # -- quarantine (degraded serving) --------------------------------------
+
+    def quarantine(self, view: ViewDefinition, reason: str) -> None:
+        """Pull a materialized view from serving until it is rebuilt.
+
+        Quarantined views are skipped by the router exactly like stale
+        ones; queries that would have used them fall back to the base
+        graph (flagged ``degraded``) and the next maintenance cycle or
+        :meth:`refresh_stale` rebuilds them.
+        """
+        if view.mask not in self._entries:
+            raise ViewError(f"view {view.label!r} is not materialized")
+        self._quarantined[view.mask] = reason
+
+    def clear_quarantine(self, view: ViewDefinition) -> bool:
+        """Return a view to serving; True when it was quarantined."""
+        return self._quarantined.pop(view.mask, None) is not None
+
+    def is_quarantined(self, view: ViewDefinition) -> bool:
+        return view.mask in self._quarantined
+
+    def quarantine_reason(self, view: ViewDefinition) -> str | None:
+        return self._quarantined.get(view.mask)
+
+    def quarantined_views(self) -> list[ViewDefinition]:
+        """Definitions of all quarantined views, in mask order."""
+        return [self._entries[mask].definition
+                for mask in sorted(self._quarantined)
+                if mask in self._entries]
+
     def refresh(self, view: ViewDefinition) -> MaterializedView:
-        """Rebuild one view against the current base graph.
+        """Rebuild one view against the current base graph, atomically.
 
         The rebuild happens *in place* — the view's named graph object is
         cleared and refilled rather than replaced — so query engines and
         any other holders of the graph reference observe the fresh data.
+        If the rebuild fails partway, the previous view content and
+        catalog entry are restored from an id-space snapshot before the
+        error propagates: the catalog never serves a half-built graph.
+        A successful rebuild lifts any quarantine on the view.
         """
         if view.mask not in self._entries:
             raise ViewError(f"view {view.label!r} is not materialized")
+        fail_at("catalog.refresh")
         target = self._dataset.graph(view.iri)
+        previous = self._entries[view.mask]
+        snapshot = target.snapshot_ids()
         target.clear()
         del self._entries[view.mask]
         # The rebuild mints fresh group nodes; any restored group index
         # for this view now references dropped ids and must not be adopted.
         self.restored_group_indexes.pop(view.mask, None)
-        stats = materialize_view(view, self._engine, target)
+        try:
+            stats = materialize_view(view, self._engine, target)
+        except BaseException:
+            with suppressed():
+                target.clear()
+                if snapshot:
+                    target.add_ids_bulk(snapshot)
+            self._entries[view.mask] = previous
+            raise
         entry = MaterializedView(
             definition=view,
             groups=stats.groups,
@@ -345,30 +413,53 @@ class ViewCatalog:
             base_version=self._engine.graph.version,
         )
         self._entries[view.mask] = entry
+        self._quarantined.pop(view.mask, None)
         return entry
 
     def refresh_stale(self) -> list[MaterializedView]:
-        """Rebuild every stale view as one plan-driven batch.
+        """Rebuild every stale or quarantined view as one batch, atomically.
 
-        Stale view graphs are cleared *in place* (holders of the graph
+        Pending view graphs are cleared *in place* (holders of the graph
         objects observe the fresh data, exactly like :meth:`refresh`),
         then rebuilt together through :meth:`materialize_all` — one
         shared scan per facet instead of one per view.  Returns the
-        refreshed entries.  On a mid-batch failure the batch's rollback
-        drops the affected views entirely rather than leaving a mix of
-        stale and fresh registrations.
+        refreshed entries.  On a mid-batch failure every affected view is
+        restored from its pre-refresh snapshot (content and catalog
+        entry) before the error propagates, so a failed batch leaves the
+        catalog exactly as it found it; a successful one lifts all
+        quarantines on the rebuilt views.
         """
-        stale = self.stale_views()
-        if not stale:
+        fail_at("catalog.refresh_stale")
+        current = self._engine.graph.version
+        pending = [entry for entry in self
+                   if entry.base_version != current
+                   or entry.mask in self._quarantined]
+        if not pending:
             return []
         views: list[ViewDefinition] = []
-        for entry in stale:
+        snapshots: list[tuple[MaterializedView, Graph,
+                              list[tuple[int, int, int]]]] = []
+        for entry in pending:
             view = entry.definition
-            self._dataset.graph(view.iri).clear()
+            graph = self._dataset.graph(view.iri)
+            snapshots.append((entry, graph, graph.snapshot_ids()))
+            graph.clear()
             del self._entries[view.mask]
             self.restored_group_indexes.pop(view.mask, None)
             views.append(view)
-        return self.materialize_all(views)
+        try:
+            refreshed = self.materialize_all(views)
+        except BaseException:
+            with suppressed():
+                for entry, graph, snapshot in snapshots:
+                    graph.clear()
+                    if snapshot:
+                        graph.add_ids_bulk(snapshot)
+                    self._entries[entry.mask] = entry
+            raise
+        for view in views:
+            self._quarantined.pop(view.mask, None)
+        return refreshed
 
     # -- storage accounting -------------------------------------------------------
 

@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..errors import ExpressionError, ViewError
+from ..resilience.failpoints import fail_at, suppressed
 from ..rdf.graph import Graph
 from ..rdf.namespace import SOFOS
 from ..rdf.terms import BlankNode, typed_literal
@@ -171,12 +172,12 @@ class ViewMaintenance:
     """What happened to one view during a synchronization pass."""
 
     label: str
-    action: str                    # "patched" | "rebuilt"
+    action: str                    # "patched" | "rebuilt" | "quarantined"
     groups_created: int = 0
     groups_updated: int = 0
     groups_deleted: int = 0
     seconds: float = 0.0
-    reason: Optional[str] = None   # why a rebuild was chosen
+    reason: Optional[str] = None   # why a rebuild/quarantine was chosen
 
     @property
     def patched(self) -> bool:
@@ -192,6 +193,7 @@ class MaintenanceReport:
     inserted: int = 0
     deleted: int = 0
     truncated: bool = False
+    rollbacks: int = 0
     views: list[ViewMaintenance] = field(default_factory=list)
 
     def __len__(self) -> int:
@@ -203,7 +205,12 @@ class MaintenanceReport:
 
     @property
     def rebuilt(self) -> list[ViewMaintenance]:
-        return [v for v in self.views if not v.patched]
+        return [v for v in self.views if v.action == "rebuilt"]
+
+    @property
+    def quarantined(self) -> list[ViewMaintenance]:
+        """Views whose rebuild fallback itself failed this pass."""
+        return [v for v in self.views if v.action == "quarantined"]
 
     @property
     def total_seconds(self) -> float:
@@ -228,12 +235,16 @@ class ViewMaintainer:
 
     def __init__(self, catalog: ViewCatalog, *,
                  max_delta_fraction: float = 0.25,
-                 max_seed_rows: int = 100_000) -> None:
+                 max_seed_rows: int = 100_000,
+                 patch_retries: int = 1,
+                 retry_backoff_seconds: float = 0.005) -> None:
         self._catalog = catalog
         self._graph = catalog.base_engine.graph
         self._log = self._graph.subscribe()
         self._max_delta_fraction = max_delta_fraction
         self._max_seed_rows = max_seed_rows
+        self._patch_retries = max(0, patch_retries)
+        self._retry_backoff_seconds = max(0.0, retry_backoff_seconds)
         self._plans: dict[AnalyticalFacet, Optional[DeltaPlan]] = {}
         self._evaluators: dict[AnalyticalFacet, DeltaEvaluator] = {}
         self._indexes: dict[int, GroupIndex] = {}
@@ -263,17 +274,34 @@ class ViewMaintainer:
         return self._indexes.get(view.mask)
 
     def close(self) -> None:
-        """Detach from the base graph's change log."""
-        if not self._closed:
-            self._closed = True
+        """Detach from the base graph's change log (idempotent).
+
+        The unsubscribe is guaranteed even if the log's own close fails
+        partway — a closed maintainer never leaves a live subscriber
+        charging per-mutation work to the base graph.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
             self._log.close()
+        finally:
+            self._graph.unsubscribe(self._log)
 
     # -- the synchronization pass -------------------------------------------
 
     def synchronize(self, force_rebuild: bool = False) -> MaintenanceReport:
-        """Reconcile every stale view with the drained change window."""
+        """Reconcile every stale or quarantined view with the drained window.
+
+        Each view is handled all-or-nothing: a patch that fails midway is
+        rolled back (and retried once after a short backoff) before the
+        view falls through to the reasoned-rebuild path, and a rebuild
+        that itself fails quarantines the view — the failure lands in the
+        report instead of propagating half-applied state to callers.
+        """
         if self._closed:
             raise ViewError("maintainer is closed")
+        fail_at("maintenance.synchronize.window")
         delta = self._log.drain()
         report = MaintenanceReport(
             from_version=delta.from_version,
@@ -284,8 +312,10 @@ class ViewMaintainer:
         )
         catalog = self._catalog
         current = catalog.base_version
+        quarantined = {view.mask for view in catalog.quarantined_views()}
         stale = [entry for entry in catalog
-                 if entry.base_version != current]
+                 if entry.base_version != current
+                 or entry.definition.mask in quarantined]
         if not stale:
             return report
 
@@ -294,7 +324,11 @@ class ViewMaintainer:
         for entry in stale:
             start = time.perf_counter()
             view = entry.definition
-            reason = window_reason or self._view_reason(entry, delta)
+            if view.mask in quarantined:
+                reason = "quarantined: " + \
+                    (catalog.quarantine_reason(view) or "unspecified")
+            else:
+                reason = window_reason or self._view_reason(entry, delta)
             stats = None
             if reason is None:
                 facet = view.facet
@@ -307,9 +341,8 @@ class ViewMaintainer:
                 if adjustments is None:
                     reason = "delta not incrementally evaluable"
                 else:
-                    stats = self._patch_view(entry, adjustments)
-                    if stats is None:
-                        reason = "group index inconsistent with delta"
+                    stats, reason = self._patch_with_rollback(
+                        entry, adjustments, report)
             if stats is not None:
                 created, updated, deleted = stats
                 seconds = time.perf_counter() - start
@@ -324,11 +357,53 @@ class ViewMaintainer:
                     groups_deleted=deleted, seconds=seconds))
             else:
                 self._indexes.pop(view.mask, None)
-                catalog.refresh(view)
-                report.views.append(ViewMaintenance(
-                    label=view.label, action="rebuilt",
-                    seconds=time.perf_counter() - start, reason=reason))
+                try:
+                    catalog.refresh(view)
+                except Exception as exc:
+                    # The rebuild fallback failed too.  refresh() already
+                    # restored the old snapshot; quarantine the view so
+                    # routing degrades to the base graph until a later
+                    # cycle rebuilds it.
+                    catalog.quarantine(view, f"rebuild failed: {exc}")
+                    report.views.append(ViewMaintenance(
+                        label=view.label, action="quarantined",
+                        seconds=time.perf_counter() - start, reason=reason))
+                else:
+                    report.views.append(ViewMaintenance(
+                        label=view.label, action="rebuilt",
+                        seconds=time.perf_counter() - start, reason=reason))
         return report
+
+    def _patch_with_rollback(self, entry: MaterializedView,
+                             adjustments: dict[tuple, GroupAdjustment],
+                             report: MaintenanceReport
+                             ) -> tuple[Optional[tuple[int, int, int]],
+                                        Optional[str]]:
+        """Attempt a view patch transactionally; ``(stats, reason)``.
+
+        :meth:`_patch_view` already rolls the view graph back to its
+        pre-patch state when the apply phase raises; this wrapper counts
+        the rollback, retries once after a short backoff (transient
+        faults), and converts persistent failure into a rebuild reason
+        instead of letting the exception escape the maintenance pass.
+        Simulated crashes are BaseException and still propagate.
+        """
+        attempts = self._patch_retries + 1
+        last_error: Exception | None = None
+        for attempt in range(attempts):
+            if attempt:
+                time.sleep(self._retry_backoff_seconds)
+            try:
+                stats = self._patch_view(entry, adjustments)
+            except Exception as exc:
+                report.rollbacks += 1
+                last_error = exc
+                continue
+            if stats is None:
+                return None, "group index inconsistent with delta"
+            return stats, None
+        return None, (f"patch window rolled back after {attempts} "
+                      f"attempt{'s' if attempts != 1 else ''} ({last_error})")
 
     # -- fallback decisions --------------------------------------------------
 
@@ -532,10 +607,25 @@ class ViewMaintainer:
         # it survived an out-of-band rebuild) — bail out to the rebuild
         # fallback, which clears the graph and starts clean, instead of
         # leaving duplicate or orphaned measure/count triples behind.
-        if removes and graph.remove_ids_bulk(removes) != len(removes):
-            return None
-        if adds and graph.add_ids_bulk(adds) != len(adds):
-            return None
+        # An *exception* between the two bulk ops would otherwise leave
+        # the view half-patched yet marked fresh; undo both edits (bulk
+        # ops skip absent/duplicate ids, so the undo is safe wherever the
+        # failure struck) and drop the mutated index before re-raising.
+        try:
+            fail_at("maintenance.patch.before_apply")
+            if removes and graph.remove_ids_bulk(removes) != len(removes):
+                return None
+            fail_at("maintenance.patch.between_bulk_ops")
+            if adds and graph.add_ids_bulk(adds) != len(adds):
+                return None
+        except BaseException:
+            self._indexes.pop(view.mask, None)
+            with suppressed():
+                if adds:
+                    graph.remove_ids_bulk(adds)
+                if removes:
+                    graph.add_ids_bulk(removes)
+            raise
         return created, updated, deleted
 
     @staticmethod

@@ -20,18 +20,30 @@ Format history:
   :class:`~repro.views.maintenance.ViewMaintainer` can patch loaded views
   without re-scanning their graphs.  v1 manifests still load with the old
   semantics.
+* **v3** makes the save crash-safe: both files are written
+  temp-then-fsync-then-atomic-rename, and the manifest records a SHA-256
+  checksum of the whole dataset file plus one per component graph (base
+  and each view).  ``load_expanded`` verifies the per-graph checksums and
+  raises :class:`~repro.errors.CatalogCorruptError` naming the views that
+  are still salvageable; ``recover=True`` loads the intact views and
+  marks the rest stale-for-rebuild instead of failing.  v1/v2 manifests
+  (no checksums) still load unverified.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+from dataclasses import dataclass
 from typing import Optional
 
-from ..errors import ExpressionError, ParseError, TermError, ViewError
+from ..errors import CatalogCorruptError, ExpressionError, ParseError, \
+    TermError, ViewError
+from ..resilience.failpoints import fail_at
 from ..rdf.dataset import Dataset
 from ..rdf.graph import Graph
-from ..rdf.nquads import parse_nquads, serialize_nquads
+from ..rdf.nquads import iter_nquads, parse_nquads, serialize_graph_lines
 from ..rdf.ntriples import parse_term
 from ..rdf.terms import typed_literal
 from ..cube.facet import AnalyticalFacet
@@ -40,12 +52,68 @@ from ..sparql.values import to_number
 from .catalog import MaterializedView, ViewCatalog
 from .maintenance import GroupIndex, GroupState, KIND_MINMAX, aggregate_kind
 
-__all__ = ["save_expanded", "load_expanded", "DATASET_FILE", "MANIFEST_FILE"]
+__all__ = ["save_expanded", "load_expanded", "CatalogRecovery",
+           "DATASET_FILE", "MANIFEST_FILE"]
 
 DATASET_FILE = "expanded.nq"
 MANIFEST_FILE = "catalog.json"
-_FORMAT_VERSION = 2
-_SUPPORTED_FORMATS = (1, 2)
+_FORMAT_VERSION = 3
+_SUPPORTED_FORMATS = (1, 2, 3)
+
+
+@dataclass(frozen=True)
+class CatalogRecovery:
+    """What ``load_expanded(recover=True)`` managed to salvage.
+
+    Attached to the returned catalog as ``catalog.recovery``.  ``intact``
+    holds labels of views restored verified; ``rebuilding`` those whose
+    graphs failed verification (cleared and marked stale for the next
+    refresh); ``base_verified`` says whether the base graph matched its
+    recorded checksum (when it did not, every view is queued to rebuild).
+    """
+
+    intact: tuple[str, ...] = ()
+    rebuilding: tuple[str, ...] = ()
+    base_verified: bool = True
+
+
+def _checksum(lines: list[str]) -> str:
+    return hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()
+
+
+def _graph_lines(dataset: Dataset) -> dict[str, list[str]]:
+    """Sorted N-Quads lines per graph, with empty graphs present too."""
+    by_graph = serialize_graph_lines(dataset)
+    by_graph.setdefault("", [])
+    for name in dataset.names():
+        by_graph.setdefault(name.value, [])
+    return by_graph
+
+
+def _atomic_write(path: str, text: str, failpoint_name: str) -> None:
+    """Write-temp + fsync + atomic rename, so readers never see a torn file.
+
+    A crash before the rename leaves the previous file untouched (the
+    orphaned ``.tmp`` is overwritten by the next save); a crash after it
+    leaves the new content fully in place.  There is no in-between.
+    """
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    fail_at(failpoint_name)
+    os.replace(tmp_path, path)
+    try:
+        dir_fd = os.open(os.path.dirname(path) or ".", os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
 
 
 def _serialize_group_index(entry: MaterializedView, catalog: ViewCatalog
@@ -113,11 +181,20 @@ def _restore_group_index(payload: dict, view: ViewDefinition,
 
 
 def save_expanded(catalog: ViewCatalog, directory: str) -> None:
-    """Write the expanded dataset and catalog manifest into ``directory``."""
+    """Write the expanded dataset and catalog manifest into ``directory``.
+
+    Both files land via temp-write + fsync + atomic rename; the manifest
+    carries per-graph SHA-256 checksums of the dataset it describes, so a
+    crash between the two renames (new dataset, old manifest) is
+    detectable on load rather than silently mixing generations.
+    """
     os.makedirs(directory, exist_ok=True)
-    with open(os.path.join(directory, DATASET_FILE), "w",
-              encoding="utf-8") as handle:
-        handle.write(serialize_nquads(catalog.dataset))
+    by_graph = _graph_lines(catalog.dataset)
+    all_lines = sorted(line for lines in by_graph.values() for line in lines)
+    dataset_text = "\n".join(all_lines) + ("\n" if all_lines else "")
+    _atomic_write(os.path.join(directory, DATASET_FILE), dataset_text,
+                  "persistence.save.dataset_tmp")
+    fail_at("persistence.save.between_files")
 
     current = catalog.base_version
     entries = []
@@ -141,15 +218,38 @@ def save_expanded(catalog: ViewCatalog, directory: str) -> None:
         "format": _FORMAT_VERSION,
         "facet": facet_name,
         "base_triples": len(catalog.dataset.default),
+        "checksums": {
+            "dataset": hashlib.sha256(
+                dataset_text.encode("utf-8")).hexdigest(),
+            "graphs": {key: _checksum(lines)
+                       for key, lines in by_graph.items()},
+        },
         "views": entries,
     }
-    with open(os.path.join(directory, MANIFEST_FILE), "w",
-              encoding="utf-8") as handle:
-        json.dump(manifest, handle, indent=2, sort_keys=True)
+    _atomic_write(os.path.join(directory, MANIFEST_FILE),
+                  json.dumps(manifest, indent=2, sort_keys=True),
+                  "persistence.save.manifest_tmp")
 
 
-def load_expanded(directory: str, facet: AnalyticalFacet
-                  ) -> tuple[Dataset, ViewCatalog]:
+def _parse_dataset_lenient(text: str) -> Dataset:
+    """Parse N-Quads line by line, skipping unparseable lines.
+
+    The recovery path for a torn dataset file: whatever survives intact
+    is loaded (checksum verification then decides which graphs to
+    trust), the rest is dropped.
+    """
+    dataset = Dataset()
+    for line in text.split("\n"):
+        try:
+            for quad in iter_nquads([line]):
+                dataset.add_quad(quad)
+        except (ParseError, TermError):
+            continue
+    return dataset
+
+
+def load_expanded(directory: str, facet: AnalyticalFacet, *,
+                  recover: bool = False) -> tuple[Dataset, ViewCatalog]:
     """Load a saved expanded dataset back for the given facet.
 
     The manifest's facet name must match ``facet.name`` — loading a
@@ -158,14 +258,33 @@ def load_expanded(directory: str, facet: AnalyticalFacet
     restored stale (sentinel ``base_version = -1``); everything else
     aligns with the loaded graph's version.  Restored group indexes are
     left on ``catalog.restored_group_indexes`` for a maintainer to adopt.
+
+    v3 manifests are checksum-verified per component graph.  On any
+    mismatch the default is to raise :class:`CatalogCorruptError` listing
+    the still-salvageable views; with ``recover=True`` the verified
+    views load intact, failed ones are cleared and marked stale (a base
+    mismatch marks *every* view stale), and the outcome is attached to
+    the catalog as ``catalog.recovery`` (:class:`CatalogRecovery`).
+    Malformed or truncated manifests raise :class:`CatalogCorruptError`
+    naming the offending file in either mode.
     """
+    fail_at("persistence.load")
     manifest_path = os.path.join(directory, MANIFEST_FILE)
     dataset_path = os.path.join(directory, DATASET_FILE)
     if not os.path.exists(manifest_path) or not os.path.exists(dataset_path):
         raise ViewError(f"{directory!r} does not contain a saved expanded "
                         f"dataset ({DATASET_FILE} + {MANIFEST_FILE})")
-    with open(manifest_path, encoding="utf-8") as handle:
-        manifest = json.load(handle)
+    try:
+        with open(manifest_path, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise CatalogCorruptError(
+            f"malformed catalog manifest {manifest_path}: {exc}",
+            path=manifest_path) from exc
+    if not isinstance(manifest, dict):
+        raise CatalogCorruptError(
+            f"malformed catalog manifest {manifest_path}: expected a JSON "
+            f"object, got {type(manifest).__name__}", path=manifest_path)
     fmt = manifest.get("format")
     if fmt not in _SUPPORTED_FORMATS:
         raise ViewError(f"unsupported catalog format {fmt!r}")
@@ -174,37 +293,109 @@ def load_expanded(directory: str, facet: AnalyticalFacet
         raise ViewError(
             f"saved catalog belongs to facet {saved_facet!r}, not "
             f"{facet.name!r}")
+    view_items = manifest.get("views")
+    if not isinstance(view_items, list):
+        raise CatalogCorruptError(
+            f"truncated catalog manifest {manifest_path}: no view table",
+            path=manifest_path)
 
     with open(dataset_path, encoding="utf-8") as handle:
-        dataset = parse_nquads(handle.read())
+        dataset_text = handle.read()
+    try:
+        dataset = parse_nquads(dataset_text)
+    except (ParseError, TermError) as exc:
+        if not recover:
+            raise CatalogCorruptError(
+                f"corrupt dataset file {dataset_path}: {exc}",
+                path=dataset_path) from exc
+        dataset = _parse_dataset_lenient(dataset_text)
+
+    # -- checksum verification (v3) -----------------------------------------
+    mismatched: set[str] = set()
+    base_verified = True
+    if fmt >= 3:
+        recorded = manifest.get("checksums")
+        graph_sums = recorded.get("graphs") if isinstance(recorded, dict) \
+            else None
+        if not isinstance(graph_sums, dict):
+            raise CatalogCorruptError(
+                f"truncated catalog manifest {manifest_path}: no checksum "
+                "table", path=manifest_path)
+        actual = _graph_lines(dataset)
+        for key in set(graph_sums) | set(actual):
+            if graph_sums.get(key) != _checksum(actual.get(key, [])):
+                mismatched.add(key)
+        base_verified = "" not in mismatched
+
+    def _definition(item) -> ViewDefinition:
+        return ViewDefinition(facet, int(item["mask"]))
+
+    if mismatched and not recover:
+        salvageable: list[str] = []
+        if base_verified:
+            try:
+                for item in view_items:
+                    definition = _definition(item)
+                    if definition.iri.value not in mismatched:
+                        salvageable.append(definition.label)
+            except (KeyError, TypeError, ValueError):
+                salvageable = []
+        raise CatalogCorruptError(
+            f"checksum mismatch in {dataset_path} for "
+            f"{len(mismatched)} graph(s); salvageable views: "
+            f"{', '.join(salvageable) if salvageable else 'none'}",
+            path=dataset_path, salvageable=tuple(salvageable))
 
     catalog = ViewCatalog(dataset)
     # Loaded graphs are snapshots: fresh-at-save entries align with the
     # loaded base graph's version; stale-at-save entries (v2 only) keep a
     # sentinel version so they still register stale.
     version = dataset.default.version
-    for item in manifest["views"]:
-        definition = ViewDefinition(facet, int(item["mask"]))
-        graph = dataset.get_graph(definition.iri)
-        if graph is None:
-            raise ViewError(
-                f"manifest lists view {item['label']!r} but the dataset "
-                "file has no graph named " + definition.iri.value)
-        stale = fmt >= 2 and bool(item.get("stale", False))
-        entry = MaterializedView(
-            definition=definition,
-            groups=int(item["groups"]),
-            triples=int(item["triples"]),
-            nodes=int(item["nodes"]),
-            build_seconds=float(item["build_seconds"]),
-            base_version=-1 if stale else version,
-            maintain_seconds=float(item.get("maintain_seconds", 0.0)),
-            maintain_count=int(item.get("maintain_count", 0)),
-        )
-        catalog._entries[definition.mask] = entry
-        index_payload = item.get("group_index")
-        if fmt >= 2 and index_payload is not None:
-            index = _restore_group_index(index_payload, definition, graph)
-            if index is not None:
-                catalog.restored_group_indexes[definition.mask] = index
+    intact: list[str] = []
+    rebuilding: list[str] = []
+    try:
+        for item in view_items:
+            definition = _definition(item)
+            graph = dataset.get_graph(definition.iri)
+            failed = not base_verified \
+                or definition.iri.value in mismatched \
+                or graph is None
+            if graph is None:
+                if not recover:
+                    raise ViewError(
+                        f"manifest lists view {item['label']!r} but the "
+                        "dataset file has no graph named "
+                        + definition.iri.value)
+                graph = dataset.graph(definition.iri)
+            if failed and recover:
+                # Content is untrusted: drop it and queue a rebuild.
+                graph.clear()
+                rebuilding.append(definition.label)
+            elif recover:
+                intact.append(definition.label)
+            stale = failed or (fmt >= 2 and bool(item.get("stale", False)))
+            entry = MaterializedView(
+                definition=definition,
+                groups=int(item["groups"]),
+                triples=int(item["triples"]),
+                nodes=int(item["nodes"]),
+                build_seconds=float(item["build_seconds"]),
+                base_version=-1 if stale else version,
+                maintain_seconds=float(item.get("maintain_seconds", 0.0)),
+                maintain_count=int(item.get("maintain_count", 0)),
+            )
+            catalog._entries[definition.mask] = entry
+            index_payload = item.get("group_index")
+            if fmt >= 2 and not failed and index_payload is not None:
+                index = _restore_group_index(index_payload, definition, graph)
+                if index is not None:
+                    catalog.restored_group_indexes[definition.mask] = index
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CatalogCorruptError(
+            f"truncated catalog manifest {manifest_path}: bad view entry "
+            f"({exc!r})", path=manifest_path) from exc
+    if recover:
+        catalog.recovery = CatalogRecovery(
+            intact=tuple(intact), rebuilding=tuple(rebuilding),
+            base_verified=base_verified)
     return dataset, catalog

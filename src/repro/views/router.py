@@ -65,7 +65,8 @@ class ViewRouter:
         """
         usable = [entry for entry in
                   self._catalog.covering(query.required_mask)
-                  if entry.definition.facet == query.facet]
+                  if entry.definition.facet == query.facet
+                  and not self._catalog.is_quarantined(entry.definition)]
         if self._skip_stale:
             current = self._catalog.base_version
             usable = [entry for entry in usable
@@ -74,7 +75,24 @@ class ViewRouter:
                                    e.mask))
         return usable
 
+    def quarantined_candidates(self, query: AnalyticalQuery
+                               ) -> list[MaterializedView]:
+        """Covering views pulled from serving by quarantine.
+
+        Non-empty means a query falling back to the base graph (or a
+        coarser view) is being served *degraded*: a view that would
+        normally have answered it is quarantined pending rebuild.
+        """
+        return [entry for entry in
+                self._catalog.covering(query.required_mask)
+                if entry.definition.facet == query.facet
+                and self._catalog.is_quarantined(entry.definition)]
+
     def route(self, query: AnalyticalQuery) -> Optional[MaterializedView]:
-        """The chosen view, or None when the base graph must answer."""
+        """The chosen view, or None when the base graph must answer.
+
+        Quarantined views are never routed — like stale views under
+        ``skip_stale``, they fall back to the always-correct base graph.
+        """
         usable = self.candidates(query)
         return usable[0] if usable else None

@@ -1,0 +1,158 @@
+"""The fault-injection registry: arming semantics, modes, suppression.
+
+These tests exercise :mod:`repro.resilience.failpoints` in isolation —
+the registry's counting discipline (skip → fire ``count`` times →
+auto-disarm), the three modes, and the ``suppressed()`` guard that keeps
+rollback internals from tripping the very fault they are undoing.  The
+integration side (failpoints wired into maintenance, catalog, and
+persistence code) lives in ``test_resilience.py``.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import FailpointError, ResilienceError, SimulatedCrash
+from repro.resilience import failpoints
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    failpoints.reset()
+    yield
+    failpoints.reset()
+
+
+class TestArming:
+    def test_disarmed_is_noop(self):
+        failpoints.fail_at("graph.add_ids_bulk")  # nothing armed: no raise
+        assert not failpoints.is_armed("graph.add_ids_bulk")
+
+    def test_armed_error_fires_and_auto_disarms(self):
+        failpoints.arm("persistence.load")
+        with pytest.raises(FailpointError) as exc:
+            failpoints.fail_at("persistence.load")
+        assert exc.value.name == "persistence.load"
+        assert "persistence.load" in str(exc.value)
+        # count=1 (the default) disarms after the first firing
+        assert not failpoints.is_armed("persistence.load")
+        failpoints.fail_at("persistence.load")  # second hit passes
+
+    def test_unrelated_names_do_not_fire(self):
+        failpoints.arm("catalog.refresh")
+        failpoints.fail_at("catalog.refresh_stale")  # different point
+        assert failpoints.is_armed("catalog.refresh")
+
+    def test_skip_passes_then_fires(self):
+        failpoints.arm("graph.add_ids_bulk", skip=2)
+        failpoints.fail_at("graph.add_ids_bulk")
+        failpoints.fail_at("graph.add_ids_bulk")
+        with pytest.raises(FailpointError):
+            failpoints.fail_at("graph.add_ids_bulk")
+
+    def test_count_fires_n_times(self):
+        failpoints.arm("catalog.refresh", count=2)
+        for _ in range(2):
+            with pytest.raises(FailpointError):
+                failpoints.fail_at("catalog.refresh")
+        failpoints.fail_at("catalog.refresh")  # disarmed now
+
+    def test_count_none_fires_forever(self):
+        failpoints.arm("catalog.refresh", count=None)
+        for _ in range(5):
+            with pytest.raises(FailpointError):
+                failpoints.fail_at("catalog.refresh")
+        assert failpoints.is_armed("catalog.refresh")
+        assert failpoints.state("catalog.refresh").fired == 5
+
+    def test_rearm_replaces_state(self):
+        failpoints.arm("catalog.refresh", skip=10)
+        failpoints.arm("catalog.refresh")  # replaces: no skip left
+        with pytest.raises(FailpointError):
+            failpoints.fail_at("catalog.refresh")
+
+    def test_disarm_and_reset(self):
+        failpoints.arm("a")
+        failpoints.arm("b")
+        assert failpoints.armed_names() == ("a", "b")
+        assert failpoints.disarm("a")
+        assert not failpoints.disarm("a")  # already gone
+        failpoints.reset()
+        assert failpoints.armed_names() == ()
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ResilienceError):
+            failpoints.arm("x", mode="explode")
+        with pytest.raises(ResilienceError):
+            failpoints.arm("x", skip=-1)
+        with pytest.raises(ResilienceError):
+            failpoints.arm("x", count=0)
+        with pytest.raises(ResilienceError):
+            failpoints.arm("x", delay_seconds=-0.1)
+        assert not failpoints.is_armed("x")
+
+
+class TestModes:
+    def test_crash_mode_is_base_exception(self):
+        """SimulatedCrash must slip past ``except Exception`` recovery
+        code — that is the whole point of a simulated crash."""
+        failpoints.arm("catalog.refresh", mode="crash")
+        caught = None
+        try:
+            try:
+                failpoints.fail_at("catalog.refresh")
+            except Exception:  # noqa: BLE001 - the assertion under test
+                pytest.fail("SimulatedCrash was swallowed by except Exception")
+        except BaseException as exc:  # noqa: BLE001
+            caught = exc
+        assert isinstance(caught, SimulatedCrash)
+        assert caught.name == "catalog.refresh"
+
+    def test_delay_mode_sleeps_and_continues(self):
+        failpoints.arm("catalog.refresh", mode="delay", delay_seconds=0.02)
+        start = time.perf_counter()
+        failpoints.fail_at("catalog.refresh")  # no raise
+        assert time.perf_counter() - start >= 0.02
+        assert not failpoints.is_armed("catalog.refresh")
+
+
+class TestContexts:
+    def test_armed_context_disarms_on_exit(self):
+        with failpoints.armed("catalog.refresh", count=None) as fp:
+            assert failpoints.state("catalog.refresh") is fp
+            with pytest.raises(FailpointError):
+                failpoints.fail_at("catalog.refresh")
+        assert not failpoints.is_armed("catalog.refresh")
+
+    def test_armed_context_leaves_rearmed_state_alone(self):
+        with failpoints.armed("catalog.refresh", skip=99):
+            failpoints.arm("catalog.refresh", skip=3)  # someone re-armed
+        # the replacement survives the context exit
+        assert failpoints.state("catalog.refresh").skip == 3
+
+    def test_suppressed_bypasses_armed_points(self):
+        failpoints.arm("catalog.refresh", count=None)
+        with failpoints.suppressed():
+            failpoints.fail_at("catalog.refresh")  # no raise
+            with failpoints.suppressed():          # re-entrant
+                failpoints.fail_at("catalog.refresh")
+            failpoints.fail_at("catalog.refresh")
+        with pytest.raises(FailpointError):
+            failpoints.fail_at("catalog.refresh")
+
+    def test_hits_and_fired_counters(self):
+        failpoints.arm("catalog.refresh", skip=1, count=None)
+        fp = failpoints.state("catalog.refresh")
+        failpoints.fail_at("catalog.refresh")
+        with pytest.raises(FailpointError):
+            failpoints.fail_at("catalog.refresh")
+        assert (fp.hits, fp.fired) == (2, 1)
+
+
+class TestCatalogOfPoints:
+    def test_known_failpoints_are_unique_and_sorted_by_layer(self):
+        names = failpoints.KNOWN_FAILPOINTS
+        assert len(set(names)) == len(names)
+        for name in names:
+            layer = name.split(".", 1)[0]
+            assert layer in ("graph", "maintenance", "catalog", "persistence")

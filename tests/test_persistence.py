@@ -1,17 +1,29 @@
 """Tests for N-Quads I/O and expanded-dataset persistence."""
 
+import hashlib
+import json
+
 import pytest
 
 from repro.core import OnlineModule, Sofos
 from repro.cube import AnalyticalQuery
-from repro.errors import ParseError, ViewError
+from repro.errors import CatalogCorruptError, ParseError, SimulatedCrash, \
+    ViewError
 from repro.rdf import Dataset, Namespace, Quad, Triple, typed_literal
 from repro.rdf.nquads import parse_nquads, serialize_nquads
+from repro.resilience import failpoints
 from repro.views.persistence import load_expanded, save_expanded
 
 from tests.conftest import build_population_graph
 
 EX = Namespace("http://example.org/")
+
+
+@pytest.fixture(autouse=True)
+def clean_failpoints():
+    failpoints.reset()
+    yield
+    failpoints.reset()
 
 
 class TestNQuads:
@@ -129,7 +141,7 @@ class TestManifestV2:
         _selection, catalog = sofos.select_and_materialize("agg_values", k=2)
         save_expanded(catalog, str(tmp_path))
         manifest = json.loads((tmp_path / "catalog.json").read_text())
-        assert manifest["format"] == 2
+        assert manifest["format"] == 3
         for item in manifest["views"]:
             assert item["stale"] is False
             index = item["group_index"]
@@ -301,3 +313,199 @@ class TestManifestV2:
         manifest_path.write_text(json.dumps(manifest))
         with pytest.raises(ViewError):
             load_expanded(str(tmp_path), population_facet)
+
+
+class TestChecksumsAndRecovery:
+    """Format 3: crash-safe writes, per-graph checksums, salvage paths."""
+
+    @pytest.fixture()
+    def saved(self, tmp_path, population_facet):
+        sofos = Sofos(build_population_graph(), population_facet)
+        _selection, catalog = sofos.select_and_materialize("agg_values", k=2)
+        save_expanded(catalog, str(tmp_path))
+        return tmp_path, population_facet, catalog
+
+    def _corrupt_graph(self, tmp_path, iri_value) -> None:
+        """Drop one line of the named graph ``iri_value`` from the dataset."""
+        path = tmp_path / "expanded.nq"
+        lines = path.read_text().splitlines()
+        marker = f"<{iri_value}> ."
+        victim = next(i for i, line in enumerate(lines)
+                      if line.rstrip().endswith(marker))
+        del lines[victim]
+        path.write_text("\n".join(lines) + "\n")
+
+    def test_manifest_records_per_graph_checksums(self, saved):
+        tmp_path, facet, catalog = saved
+        manifest = json.loads((tmp_path / "catalog.json").read_text())
+        sums = manifest["checksums"]
+        file_hash = hashlib.sha256(
+            (tmp_path / "expanded.nq").read_bytes()).hexdigest()
+        assert sums["dataset"] == file_hash
+        # one checksum per component graph: the base ("") plus every view
+        expected_keys = {""} | {e.definition.iri.value for e in catalog}
+        assert set(sums["graphs"]) == expected_keys
+
+    def test_v2_manifest_without_checksums_still_loads(self, saved):
+        tmp_path, facet, catalog = saved
+        manifest_path = tmp_path / "catalog.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format"] = 2
+        del manifest["checksums"]
+        manifest_path.write_text(json.dumps(manifest))
+        _dataset, loaded = load_expanded(str(tmp_path), facet)
+        assert len(loaded) == len(catalog)
+        assert loaded.stale_views() == []
+
+    def test_malformed_manifest_raises_typed_error(self, saved):
+        tmp_path, facet, _catalog = saved
+        (tmp_path / "catalog.json").write_text("{ this is not json")
+        with pytest.raises(CatalogCorruptError) as exc:
+            load_expanded(str(tmp_path), facet)
+        assert "catalog.json" in str(exc.value)
+        assert exc.value.path == str(tmp_path / "catalog.json")
+        assert isinstance(exc.value, ViewError)  # still a catalog error
+
+    def test_non_object_manifest_rejected(self, saved):
+        tmp_path, facet, _catalog = saved
+        (tmp_path / "catalog.json").write_text('["not", "an", "object"]')
+        with pytest.raises(CatalogCorruptError):
+            load_expanded(str(tmp_path), facet)
+
+    def test_truncated_manifest_without_views_rejected(self, saved):
+        tmp_path, facet, _catalog = saved
+        manifest_path = tmp_path / "catalog.json"
+        manifest = json.loads(manifest_path.read_text())
+        del manifest["views"]
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(CatalogCorruptError) as exc:
+            load_expanded(str(tmp_path), facet)
+        assert "no view table" in str(exc.value)
+
+    def test_v3_manifest_without_checksum_table_rejected(self, saved):
+        tmp_path, facet, _catalog = saved
+        manifest_path = tmp_path / "catalog.json"
+        manifest = json.loads(manifest_path.read_text())
+        del manifest["checksums"]          # format stays 3: table required
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(CatalogCorruptError) as exc:
+            load_expanded(str(tmp_path), facet)
+        assert "no checksum table" in str(exc.value)
+
+    def test_bad_view_entry_raises_typed_error(self, saved):
+        tmp_path, facet, _catalog = saved
+        manifest_path = tmp_path / "catalog.json"
+        manifest = json.loads(manifest_path.read_text())
+        del manifest["views"][0]["groups"]
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(CatalogCorruptError) as exc:
+            load_expanded(str(tmp_path), facet)
+        assert "bad view entry" in str(exc.value)
+
+    def test_torn_view_graph_names_salvageable_views(self, saved):
+        tmp_path, facet, catalog = saved
+        entries = list(catalog)
+        victim, survivor = entries[0].definition, entries[1].definition
+        self._corrupt_graph(tmp_path, victim.iri.value)
+        with pytest.raises(CatalogCorruptError) as exc:
+            load_expanded(str(tmp_path), facet)
+        assert exc.value.salvageable == (survivor.label,)
+        assert survivor.label in str(exc.value)
+        assert exc.value.path == str(tmp_path / "expanded.nq")
+
+    def test_recover_loads_intact_and_rebuilds_the_rest(self, saved):
+        tmp_path, facet, catalog = saved
+        entries = list(catalog)
+        victim, survivor = entries[0].definition, entries[1].definition
+        self._corrupt_graph(tmp_path, victim.iri.value)
+        dataset, loaded = load_expanded(str(tmp_path), facet, recover=True)
+        assert loaded.recovery.intact == (survivor.label,)
+        assert loaded.recovery.rebuilding == (victim.label,)
+        assert loaded.recovery.base_verified
+        # untrusted content is dropped, not served
+        assert len(loaded.graph_of(victim)) == 0
+        assert [e.definition.mask for e in loaded.stale_views()] \
+            == [victim.mask]
+        loaded.refresh_stale()
+        online = OnlineModule(loaded)
+        for definition in (victim, survivor):
+            query = AnalyticalQuery(facet, definition.mask)
+            answer = online.answer(query)
+            assert answer.used_view is not None
+            assert answer.table.same_solutions(
+                online.answer_from_base(query).table)
+
+    def test_corrupt_base_graph_trusts_no_view(self, saved):
+        tmp_path, facet, catalog = saved
+        path = tmp_path / "expanded.nq"
+        lines = path.read_text().splitlines()
+        # base-graph lines are triples: exactly three terms before the dot
+        victim = next(i for i, line in enumerate(lines)
+                      if "sofos" not in line)
+        del lines[victim]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CatalogCorruptError) as exc:
+            load_expanded(str(tmp_path), facet)
+        assert exc.value.salvageable == ()
+        dataset, loaded = load_expanded(str(tmp_path), facet, recover=True)
+        assert not loaded.recovery.base_verified
+        assert loaded.recovery.intact == ()
+        assert set(loaded.recovery.rebuilding) == \
+            {e.definition.label for e in catalog}
+        assert len(loaded.stale_views()) == len(catalog)
+
+    def test_crash_before_dataset_rename_keeps_old_generation(self, saved):
+        tmp_path, facet, catalog = saved
+        before = {name: (tmp_path / name).read_text()
+                  for name in ("expanded.nq", "catalog.json")}
+        catalog.refresh(next(iter(catalog)).definition)
+        failpoints.arm("persistence.save.dataset_tmp", mode="crash")
+        with pytest.raises(SimulatedCrash):
+            save_expanded(catalog, str(tmp_path))
+        for name, text in before.items():
+            assert (tmp_path / name).read_text() == text
+        _dataset, loaded = load_expanded(str(tmp_path), facet)
+        assert loaded.stale_views() == []
+
+    def test_kill_between_files_marks_only_unsaved_views_stale(self, saved):
+        """The crash window the checksums exist for: new dataset file, old
+        manifest.  A view rebuilt between the saves mints fresh blank
+        nodes, so its recorded checksum no longer matches — recovery must
+        rebuild exactly that view and trust the rest."""
+        tmp_path, facet, catalog = saved
+        entries = list(catalog)
+        refreshed, untouched = entries[0].definition, entries[1].definition
+        catalog.refresh(refreshed)         # base unchanged: stays fresh
+        failpoints.arm("persistence.save.between_files", mode="crash")
+        with pytest.raises(SimulatedCrash):
+            save_expanded(catalog, str(tmp_path))
+
+        with pytest.raises(CatalogCorruptError) as exc:
+            load_expanded(str(tmp_path), facet)
+        assert exc.value.salvageable == (untouched.label,)
+
+        dataset, loaded = load_expanded(str(tmp_path), facet, recover=True)
+        assert loaded.recovery.rebuilding == (refreshed.label,)
+        assert loaded.recovery.intact == (untouched.label,)
+        assert loaded.recovery.base_verified
+        loaded.refresh_stale()
+        online = OnlineModule(loaded)
+        for definition in (refreshed, untouched):
+            query = AnalyticalQuery(facet, definition.mask)
+            answer = online.answer(query)
+            assert answer.used_view is not None
+            assert answer.table.same_solutions(
+                online.answer_from_base(query).table)
+
+    def test_crash_before_manifest_rename_is_detected(self, saved):
+        tmp_path, facet, catalog = saved
+        catalog.refresh(next(iter(catalog)).definition)
+        failpoints.arm("persistence.save.manifest_tmp", mode="crash")
+        with pytest.raises(SimulatedCrash):
+            save_expanded(catalog, str(tmp_path))
+        # dataset renamed, manifest not: the generations are mixed and the
+        # checksums say so
+        with pytest.raises(CatalogCorruptError):
+            load_expanded(str(tmp_path), facet)
+        _dataset, loaded = load_expanded(str(tmp_path), facet, recover=True)
+        assert len(loaded.recovery.rebuilding) == 1
