@@ -32,6 +32,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 from repro.datasets import DBPediaConfig, generate_dbpedia, load_dataset
+from repro.obs import hub as obs_hub
 from repro.sparql import QueryEngine, ReferenceExecutor, ResultTable
 from repro.workload import WorkloadConfig, WorkloadGenerator
 
@@ -138,6 +139,47 @@ def run_suites(smoke: bool = False) -> dict:
     return suites
 
 
+def assert_disarmed_registry_empty() -> None:
+    """Structural zero-overhead check: disabled runs must record nothing.
+
+    Every timing suite above runs with the observability hub disabled;
+    if any instrument still accumulated a series, the disarmed fast path
+    has regressed from "attribute read + branch" to real work.
+    """
+    snap = obs_hub().metrics.snapshot()
+    leaked = list(snap["counters"]) + list(snap["gauges"]) \
+        + list(snap["histograms"])
+    if leaked:
+        raise AssertionError(
+            "disabled instrumentation recorded metric series during the "
+            "timing suites: " + ", ".join(leaked))
+
+
+def observability_probe(smoke: bool) -> dict:
+    """One fully instrumented workload pass, dumped into the payload.
+
+    Runs after (and independently of) the timing suites so the hub
+    snapshot in ``BENCH_engine.json`` shows live counters and spans
+    without contaminating the medians the speedup gates read.
+    """
+    h = obs_hub()
+    h.reset()
+    h.enable()
+    try:
+        ds = load_dataset("swdf", "tiny" if smoke else "small")
+        engine = QueryEngine(ds.graph)
+        generator = WorkloadGenerator(
+            ds.facet(), engine, WorkloadConfig(size=8 if smoke else 20,
+                                               seed=7))
+        for query in generator.generate():
+            engine.query(engine.prepare(query.to_select_query()))
+    finally:
+        h.disable()
+    snapshot = h.snapshot(span_limit=8)
+    h.reset()
+    return snapshot
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
@@ -161,6 +203,8 @@ def main(argv: list[str] | None = None) -> int:
     materialization_suites = {} if args.skip_materialization \
         else run_materialization_suites(smoke=args.smoke)
     materialization = full_lattice_summary(materialization_suites)
+    assert_disarmed_registry_empty()
+    observability = observability_probe(smoke=args.smoke)
     payload = {
         "benchmark": "engine",
         "mode": "smoke" if args.smoke else "full",
@@ -169,6 +213,7 @@ def main(argv: list[str] | None = None) -> int:
         "suites": suites,
         "median_speedup": round(statistics.median(speedups), 2),
         "min_speedup": round(min(speedups), 2),
+        "observability": observability,
     }
     if maintenance_suites:
         payload["maintenance"] = {

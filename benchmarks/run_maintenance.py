@@ -176,7 +176,17 @@ def main(argv: list[str] | None = None) -> int:
         REPO_ROOT, "BENCH_maintenance.json"))
     args = parser.parse_args(argv)
 
-    suites = run_suites(smoke=args.smoke)
+    # Metrics (not spans) stay on for the whole run so the dump shows the
+    # maintenance counters this benchmark exercises; both sides of every
+    # patch-vs-rebuild pair pay the same (cold-path) instrumentation.
+    from repro.obs import hub as obs_hub
+    h = obs_hub()
+    h.reset()
+    h.enable(tracing=False)
+    try:
+        suites = run_suites(smoke=args.smoke)
+    finally:
+        h.disable()
     summary = small_delta_summary(suites)
     payload = {
         "benchmark": "maintenance",
@@ -185,7 +195,9 @@ def main(argv: list[str] | None = None) -> int:
         "python": sys.version.split()[0],
         "suites": suites,
         "small_delta": summary,
+        "observability": h.snapshot(),
     }
+    h.reset()
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -185,7 +185,16 @@ def main(argv: list[str] | None = None) -> int:
         REPO_ROOT, "BENCH_materialization.json"))
     args = parser.parse_args(argv)
 
-    suites = run_suites(smoke=args.smoke)
+    # Metrics stay on for the run (both sides of every rollup-vs-per-view
+    # pair pay the same cold-path cost) so the dump carries live counters.
+    from repro.obs import hub as obs_hub
+    h = obs_hub()
+    h.reset()
+    h.enable(tracing=False)
+    try:
+        suites = run_suites(smoke=args.smoke)
+    finally:
+        h.disable()
     summary = full_lattice_summary(suites)
     payload = {
         "benchmark": "materialization",
@@ -194,7 +203,9 @@ def main(argv: list[str] | None = None) -> int:
         "python": sys.version.split()[0],
         "suites": suites,
         "full_lattice": summary,
+        "observability": h.snapshot(),
     }
+    h.reset()
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -1,0 +1,200 @@
+"""Observability overhead benchmark and BENCH dump validator.
+
+The unified observability layer promises a near-zero disarmed cost: with
+the hub disabled every instrumented seam is one attribute read and a
+branch.  This suite pins that promise two ways:
+
+* **timing gate** — the engine workload runs once with the hub disabled
+  and once fully enabled (metrics + span tracing); the enabled/disabled
+  median ratio must stay under ``--max-overhead``.
+* **structural gate** — after the disabled pass the process-global
+  registry must hold *no* recorded series at all: a disabled instrument
+  that still records would silently tax every hot loop.
+
+``--validate PATH...`` additionally checks that previously written
+``BENCH_*.json`` files embed a well-formed ``observability`` section
+(the hub snapshot every benchmark dumps alongside its timings).
+
+Writes ``BENCH_observability.json`` at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_observability.py \\
+        [--smoke] [--max-overhead RATIO] [--validate PATH ...] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.datasets import load_dataset
+from repro.obs import hub as obs_hub
+from repro.sparql import QueryEngine
+from repro.workload import WorkloadConfig, WorkloadGenerator
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
+
+#: Enabled/disabled median ratio the gate tolerates.  Full instrumentation
+#: (spans + histograms on every query) legitimately costs something; the
+#: disarmed path is the one that must be free, and it is covered by the
+#: structural gate plus run_all's cross-PR no-regression trajectory.
+DEFAULT_MAX_OVERHEAD = 1.5
+
+
+def _build_workload(smoke: bool):
+    scale = "tiny" if smoke else "small"
+    loaded = load_dataset("swdf", scale)
+    engine = QueryEngine(loaded.graph)
+    generator = WorkloadGenerator(
+        loaded.facet(), engine,
+        WorkloadConfig(size=8 if smoke else 24, seed=7))
+    prepared = [engine.prepare(q.to_select_query())
+                for q in generator.generate()]
+    return loaded, engine, prepared
+
+
+def _median_pass_seconds(engine, prepared, repetitions: int) -> float:
+    # one untimed pass so plan/decode caches are warm in both states
+    for query in prepared:
+        engine.query(query)
+    times = []
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        for query in prepared:
+            engine.query(query)
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def run_suites(smoke: bool = False) -> dict:
+    repetitions = 5 if smoke else 15
+    loaded, engine, prepared = _build_workload(smoke)
+    h = obs_hub()
+    h.disable()
+    h.reset()
+
+    disabled_s = _median_pass_seconds(engine, prepared, repetitions)
+    snap = h.metrics.snapshot()
+    recorded = bool(snap["counters"] or snap["gauges"] or snap["histograms"])
+    if recorded:
+        raise AssertionError(
+            "disabled instrumentation recorded metric series: "
+            + ", ".join(list(snap["counters"]) + list(snap["gauges"])
+                        + list(snap["histograms"])))
+
+    h.enable()
+    try:
+        enabled_s = _median_pass_seconds(engine, prepared, repetitions)
+    finally:
+        h.disable()
+    snap = h.metrics.snapshot()
+    if not snap["counters"]:
+        raise AssertionError(
+            "enabled instrumentation recorded nothing — the seams are dead")
+    h.reset()
+
+    return {
+        "engine_workload": {
+            "dataset": {"name": f"swdf-{'tiny' if smoke else 'small'}",
+                        "triples": len(loaded.graph)},
+            "queries": len(prepared),
+            "repetitions": repetitions,
+            "disabled_ms": round(disabled_s * 1e3, 3),
+            "enabled_ms": round(enabled_s * 1e3, 3),
+            "overhead_ratio": round(enabled_s / disabled_s, 3),
+            "disabled_recorded_series": 0,
+        },
+    }
+
+
+def validate_dump(path: str) -> list[str]:
+    """Problems (empty = valid) with one BENCH json's observability dump."""
+    problems: list[str] = []
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        return [f"{path}: unreadable ({exc})"]
+    section = payload.get("observability")
+    if not isinstance(section, dict):
+        return [f"{path}: no observability section"]
+    metrics = section.get("metrics")
+    if not isinstance(metrics, dict):
+        problems.append(f"{path}: observability.metrics is not an object")
+    else:
+        for key in ("counters", "gauges", "histograms"):
+            if not isinstance(metrics.get(key), dict):
+                problems.append(
+                    f"{path}: observability.metrics.{key} missing")
+        if not metrics.get("counters") and not metrics.get("histograms"):
+            problems.append(f"{path}: observability dump recorded nothing")
+    if not isinstance(section.get("spans"), list):
+        problems.append(f"{path}: observability.spans is not a list")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast CI pass: tiny scale, fewer repetitions")
+    parser.add_argument("--max-overhead", type=float,
+                        default=DEFAULT_MAX_OVERHEAD,
+                        help="fail when enabled/disabled median ratio "
+                             "exceeds this")
+    parser.add_argument("--validate", nargs="*", default=[],
+                        help="BENCH json files whose observability dumps "
+                             "must be well-formed")
+    parser.add_argument("--out", default=os.path.join(
+        REPO_ROOT, "BENCH_observability.json"))
+    args = parser.parse_args(argv)
+
+    suites = run_suites(smoke=args.smoke)
+    validated = {}
+    failures: list[str] = []
+    for path in args.validate:
+        problems = validate_dump(path)
+        validated[os.path.basename(path)] = problems or "ok"
+        failures.extend(problems)
+
+    payload = {
+        "benchmark": "observability",
+        "mode": "smoke" if args.smoke else "full",
+        "python": sys.version.split()[0],
+        "max_overhead": args.max_overhead,
+        "suites": suites,
+        "validated_dumps": validated,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    suite = suites["engine_workload"]
+    print(f"engine workload: disabled {suite['disabled_ms']:.2f} ms, "
+          f"enabled {suite['enabled_ms']:.2f} ms, "
+          f"overhead {suite['overhead_ratio']:.2f}x "
+          f"(gate {args.max_overhead:.2f}x)")
+    for name, verdict in validated.items():
+        print(f"dump {name}: "
+              f"{'ok' if verdict == 'ok' else '; '.join(verdict)}")
+    print(f"written to {os.path.relpath(args.out, REPO_ROOT)}")
+
+    if failures:
+        print("FAIL: " + "; ".join(failures))
+        return 1
+    if suite["overhead_ratio"] > args.max_overhead:
+        print(f"FAIL: instrumentation overhead "
+              f"{suite['overhead_ratio']:.2f}x exceeds the "
+              f"{args.max_overhead:.2f}x gate")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

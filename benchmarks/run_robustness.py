@@ -268,9 +268,33 @@ def main(argv: list[str] | None = None) -> int:
         REPO_ROOT, "BENCH_robustness.json"))
     args = parser.parse_args(argv)
 
+    # Metrics stay on for the whole run: the registry's counters must
+    # agree *exactly* with the ground truth this harness accumulates from
+    # the maintenance reports (increments sit on the same lines).
+    from repro.obs import hub as obs_hub
+    h = obs_hub()
+    h.reset()
+    h.enable(tracing=False)
     scale = "tiny" if args.smoke else "demo"
-    suites = run_suites(smoke=args.smoke)
-    persistence = run_persistence_scenario(scale)
+    try:
+        suites = run_suites(smoke=args.smoke)
+        persistence = run_persistence_scenario(scale)
+    finally:
+        h.disable()
+
+    expected = {
+        "maintenance_rollbacks_total":
+            sum(s["rollbacks"] for s in suites.values()),
+        "views_quarantine_events_total":
+            sum(s["quarantines"] for s in suites.values()),
+    }
+    counted = {name: h.metrics.counter_total(name) for name in expected}
+    for name, want in expected.items():
+        if counted[name] != want:
+            raise AssertionError(
+                f"metrics drift: counter {name} reads {counted[name]} but "
+                f"the harness observed {want}")
+
     payload = {
         "benchmark": "robustness",
         "mode": "smoke" if args.smoke else "full",
@@ -278,7 +302,13 @@ def main(argv: list[str] | None = None) -> int:
         "python": sys.version.split()[0],
         "suites": suites,
         "persistence_recovery": persistence,
+        "observability": h.snapshot(),
+        "counter_crosscheck": {
+            name: {"counter": counted[name], "harness": want, "match": True}
+            for name, want in expected.items()
+        },
     }
+    h.reset()
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -10,12 +10,22 @@ harness regenerating every demonstration experiment.
 
 Quick start::
 
-    from repro import Sofos, load_dataset
+    from repro import Sofos, load_dataset, obs
+
+    obs.configure_logging()          # structured logs on stderr
+    log = obs.get_logger("quickstart")
 
     loaded = load_dataset("dbpedia", "small")
     sofos = Sofos(loaded.graph, loaded.facet("population_by_language_year"))
     report = sofos.compare_cost_models(k=2, dataset_name="dbpedia")
-    print(report.render())
+    log.info("cost-model comparison:\\n%s", report.render())
+
+To watch what the engine is doing, enable the observability hub and ask
+for an EXPLAIN ANALYZE::
+
+    sofos.obs.enable()
+    print(sofos.explain("SELECT ...").render())
+    print(sofos.obs.metrics.to_prometheus())
 """
 
 from .core.sofos import DEFAULT_MODELS, Sofos
@@ -30,6 +40,8 @@ from .cube import AnalyticalFacet, AnalyticalQuery, FilterCondition, \
 from .datasets import load_dataset
 from .errors import CatalogCorruptError, FailpointError, ReproError, \
     SimulatedCrash
+from . import obs
+from .obs import ObservabilityHub, configure_logging, get_logger
 from .resilience import ConsistencyAuditor, failpoints
 from .rdf import Dataset, Graph, IRI, Literal, Namespace, Triple, Variable, \
     parse_ntriples, parse_turtle, serialize_ntriples, serialize_turtle, \
@@ -50,12 +62,14 @@ __all__ = [
     "Dataset", "ExhaustiveSelector", "FailpointError", "FilterCondition",
     "Graph", "SimulatedCrash", "failpoints",
     "GreedySelector", "IRI", "LatticeProfile", "LearnedCost", "Literal",
-    "Namespace", "NodeCountCost", "QueryEngine", "QueryOutcome",
+    "Namespace", "NodeCountCost", "ObservabilityHub", "QueryEngine",
+    "QueryOutcome",
     "RandomCost", "ReproError", "ResultTable", "SelectionResult", "Sofos",
     "SpaceBudgetSelector", "Triple", "TripleCountCost", "UserDefinedCost",
     "UserSelection", "Variable", "ViewCatalog", "ViewDefinition",
     "ViewLattice", "ViewRouter", "WorkloadConfig", "WorkloadGenerator",
-    "WorkloadRun", "create_model", "load_dataset", "model_names",
+    "WorkloadRun", "configure_logging", "create_model", "get_logger",
+    "load_dataset", "model_names", "obs",
     "parse_ntriples", "parse_query", "parse_turtle", "rewrite_on_view",
     "serialize_ntriples", "serialize_turtle", "typed_literal",
 ]

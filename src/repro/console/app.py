@@ -25,8 +25,9 @@ from ..selection.exhaustive import ExhaustiveSelector
 from ..selection.greedy import GreedySelector
 from ..selection.user import UserSelection
 from .panels import panel_configuration, panel_cost_functions, \
-    panel_full_lattice, panel_materialized_lattice, panel_performance, \
-    panel_query_characteristics, panel_view_data, panel_workload_detail
+    panel_full_lattice, panel_materialized_lattice, panel_observability, \
+    panel_performance, panel_query_characteristics, panel_view_data, \
+    panel_workload_detail
 
 __all__ = ["main", "build_parser"]
 
@@ -78,14 +79,27 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--k", type=int, default=2)
     p.add_argument("--out", required=True, help="output directory")
+
+    p = sub.add_parser("observe",
+                       help="instrumented walkthrough: workload + update "
+                            "stream with EXPLAIN and the observability "
+                            "panel")
+    common(p)
+    p.add_argument("--k", type=int, default=2)
+    p.add_argument("--queries", type=int, default=20)
+    p.add_argument("--batches", type=int, default=3)
+    p.add_argument("--operations", type=int, default=25,
+                   help="update operations per batch")
     return parser
 
 
-def _setup(args: argparse.Namespace) -> Sofos:
+def _setup(args: argparse.Namespace,
+           maintenance: str = "rebuild") -> Sofos:
     loaded = load_dataset(args.dataset, args.scale)
     facet = loaded.facet(args.facet)
     print(panel_configuration(loaded))
-    return Sofos(loaded.graph, facet, seed=args.seed)
+    return Sofos(loaded.graph, facet, seed=args.seed,
+                 maintenance=maintenance)
 
 
 def _cmd_lattice(args: argparse.Namespace) -> None:
@@ -164,6 +178,35 @@ def _cmd_persist(args: argparse.Namespace) -> None:
           f"{hits}/{len(workload)} workload queries")
 
 
+def _cmd_observe(args: argparse.Namespace) -> None:
+    from ..obs import hub
+    from ..workload import UpdateStreamConfig, UpdateStreamGenerator
+    h = hub()
+    h.reset()
+    h.enable()
+    try:
+        sofos = _setup(args, maintenance="incremental")
+        sofos.select_and_materialize("agg_values", k=args.k)
+        workload = sofos.generate_workload(args.queries)
+        generator = UpdateStreamGenerator(
+            sofos.dataset.default,
+            UpdateStreamConfig(batches=args.batches,
+                               operations_per_batch=args.operations,
+                               seed=args.seed))
+        for _ in generator.stream():
+            sofos.maintain()
+        run = sofos.run_workload(workload)
+        print(panel_query_characteristics(run))
+        explained = sofos.explain(workload[0])
+        print("EXPLAIN ANALYZE (first workload query)")
+        print("=" * 38)
+        print(explained.render())
+        print()
+        print(panel_observability(h))
+    finally:
+        h.disable()
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "configuration":
@@ -178,6 +221,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         _cmd_challenge(args)
     elif args.command == "persist":
         _cmd_persist(args)
+    elif args.command == "observe":
+        _cmd_observe(args)
     return 0
 
 

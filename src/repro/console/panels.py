@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from ..obs import ObservabilityHub
 from ..rdf.namespace import default_prefixes
 from ..rdf.turtle import serialize_turtle
 from ..cube.lattice import ViewLattice
@@ -23,8 +24,8 @@ from .lattice_render import render_lattice
 
 __all__ = [
     "panel_configuration", "panel_full_lattice", "panel_cost_functions",
-    "panel_materialized_lattice", "panel_performance",
-    "panel_query_characteristics", "panel_view_data",
+    "panel_materialized_lattice", "panel_observability",
+    "panel_performance", "panel_query_characteristics", "panel_view_data",
 ]
 
 
@@ -149,6 +150,8 @@ def panel_query_characteristics(run: WorkloadRun,
     """Per-query characteristics table (grouping level, filters, routing)."""
     rows = []
     for record in run.characteristics()[:max_rows]:
+        flags = "+".join(flag for flag in ("stale", "degraded")
+                         if record[flag]) or "-"
         rows.append([
             str(record["query"])[:60],
             str(record["group_level"]) if record["group_level"] is not None
@@ -157,11 +160,97 @@ def panel_query_characteristics(run: WorkloadRun,
             str(record["answered_by"]),
             str(record["rows"]),
             f"{record['ms']:.2f}",
+            flags,
         ])
     table = format_table(
-        ("query", "level", "filters", "answered by", "rows", "ms"), rows,
-        align_right=[False, True, True, False, True, True])
+        ("query", "level", "filters", "answered by", "rows", "ms", "flags"),
+        rows, align_right=[False, True, True, False, True, True, False])
     return _section("Query characteristics", table)
+
+
+def _hit_rate_row(label: str, hits: int, misses: int) -> list[str]:
+    total = hits + misses
+    rate = f"{hits / total * 100:.0f}%" if total else "-"
+    return [label, str(hits), str(misses), rate]
+
+
+def panel_observability(hub: ObservabilityHub, max_spans: int = 6) -> str:
+    """Metrics and trace summary from the unified observability layer."""
+    reg = hub.metrics
+    parts: list[str] = []
+
+    latency = reg.get("online_query_seconds")
+    if latency is not None and latency._series:
+        rows = []
+        for key, series in latency.labeled_series():
+            rows.append([
+                key[0] if key else "(all)",
+                str(series.count),
+                f"{series.sum / series.count * 1000:.2f}",
+                f"{latency.percentile(0.50, key) * 1000:.2f}",
+                f"{latency.percentile(0.95, key) * 1000:.2f}",
+                f"{latency.percentile(0.99, key) * 1000:.2f}",
+            ])
+        parts.append("Query latency by route:\n" + format_table(
+            ("route", "queries", "mean ms", "p50 ms", "p95 ms", "p99 ms"),
+            rows, align_right=[False] + [True] * 5))
+
+    cache_rows = [
+        _hit_rate_row("BGP plan cache",
+                      reg.counter_total("engine_bgp_plan_cache_hits_total"),
+                      reg.counter_total("engine_bgp_plan_cache_misses_total")),
+        _hit_rate_row("prepared queries",
+                      reg.counter_total("engine_prepared_cache_hits_total"),
+                      reg.counter_total("engine_prepared_cache_misses_total")),
+        _hit_rate_row("decode memo",
+                      reg.counter_total("engine_decode_memo_hits_total"),
+                      reg.counter_total("engine_decode_memo_misses_total")),
+    ]
+    parts.append("Cache efficiency:\n" + format_table(
+        ("cache", "hits", "misses", "rate"), cache_rows,
+        align_right=[False, True, True, True]))
+
+    decisions = reg.get("maintenance_decisions_total")
+    decision_rows = []
+    if decisions is not None:
+        for key, count in decisions.labeled_series():
+            decision_rows.append([key[0], key[1], str(count)])
+    if decision_rows:
+        parts.append("Maintenance decisions:\n" + format_table(
+            ("action", "reason", "views"), decision_rows,
+            align_right=[False, False, True]))
+
+    health = [
+        ("maintenance windows",
+         reg.counter_total("maintenance_windows_total")),
+        ("patch rollbacks", reg.counter_total("maintenance_rollbacks_total")),
+        ("changelog truncations",
+         reg.counter_total("maintenance_changelog_truncations_total")),
+        ("stale answers", reg.counter_total("online_stale_answers_total")),
+        ("degraded answers",
+         reg.counter_total("online_degraded_answers_total")),
+        ("quarantine events",
+         reg.counter_total("views_quarantine_events_total")),
+        ("audit passes", reg.counter_total("audit_runs_total")),
+        ("corrupt views found",
+         reg.counter_total("audit_corrupt_views_total")),
+        ("failpoints fired",
+         reg.counter_total("resilience_failpoints_fired_total")),
+    ]
+    parts.append("Serving & maintenance health:\n" + format_table(
+        ("event", "count"), [[n, str(v)] for n, v in health],
+        align_right=[False, True]))
+
+    spans = hub.tracer.recent(max_spans)
+    if spans:
+        rendered = "\n".join(span.render() for span in reversed(spans))
+        parts.append(f"Recent traces (newest last):\n{rendered}")
+
+    state = []
+    state.append("metrics " + ("on" if reg.enabled else "off"))
+    state.append("tracing " + ("on" if hub.tracer.enabled else "off"))
+    return _section("Observability", ", ".join(state) + "\n\n"
+                    + "\n\n".join(parts))
 
 
 def panel_view_data(catalog: ViewCatalog, label: str,

@@ -11,6 +11,19 @@ from ..cube.query import AnalyticalQuery
 __all__ = ["Timer", "QueryOutcome", "WorkloadRun"]
 
 
+def _percentile(ordered: list[float], fraction: float) -> float:
+    """Linear-interpolated percentile of an already-sorted sample."""
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = fraction * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    weight = rank - lo
+    return ordered[lo] * (1.0 - weight) + ordered[hi] * weight
+
+
 class Timer:
     """Context manager measuring wall-clock seconds.
 
@@ -120,14 +133,24 @@ class WorkloadRun:
                 "answered_by": outcome.view_label or "(base graph)",
                 "rows": outcome.rows,
                 "ms": outcome.seconds * 1000.0,
+                "stale": outcome.stale,
+                "degraded": outcome.degraded,
             })
         return records
 
+    def percentile_seconds(self, fraction: float) -> float:
+        """Latency at ``fraction`` (0..1) across all outcomes, interpolated."""
+        return _percentile(sorted(o.seconds for o in self.outcomes), fraction)
+
     def summary(self) -> dict[str, float]:
+        ordered = sorted(o.seconds for o in self.outcomes)
         return {
             "queries": float(len(self.outcomes)),
             "total_seconds": self.total_seconds,
             "mean_seconds": self.mean_seconds,
+            "p50_seconds": _percentile(ordered, 0.50),
+            "p95_seconds": _percentile(ordered, 0.95),
+            "p99_seconds": _percentile(ordered, 0.99),
             "hit_rate": self.hit_rate,
             "rewrite_seconds": self.total_rewrite_seconds,
         }

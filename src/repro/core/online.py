@@ -27,6 +27,8 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from ..errors import ReproError
+from ..obs import metrics as _metrics
+from ..obs import tracing as _tracing
 from ..rdf.terms import IRI
 from ..cube.query import AnalyticalQuery
 from ..sparql.engine import QueryEngine
@@ -38,6 +40,38 @@ from ..views.router import Ranking, ViewRouter
 from .metrics import QueryOutcome, WorkloadRun
 
 __all__ = ["Answer", "OnlineModule"]
+
+_REG = _metrics.registry()
+_TRACER = _tracing.tracer()
+_QUERY_SECONDS = _REG.histogram(
+    "online_query_seconds",
+    "end-to-end execution seconds per analytical query",
+    labels=("route",))
+_ANSWERS = _REG.counter(
+    "online_answers_total",
+    "analytical queries answered, by route",
+    labels=("route",))
+_STALE_ANSWERS = _REG.counter(
+    "online_stale_answers_total",
+    "answers served from a stale view snapshot")
+_DEGRADED_ANSWERS = _REG.counter(
+    "online_degraded_answers_total",
+    "answers where quarantine forced a slower-but-correct path")
+_REWRITE_SECONDS = _REG.histogram(
+    "online_rewrite_seconds",
+    "query-rewrite cost when a view answers")
+
+
+def _observe_outcome(outcome: QueryOutcome) -> None:
+    route = "view" if outcome.view_label else "base"
+    _QUERY_SECONDS.observe(outcome.seconds, (route,))
+    _ANSWERS.inc(labels=(route,))
+    if outcome.stale:
+        _STALE_ANSWERS.inc()
+    if outcome.degraded:
+        _DEGRADED_ANSWERS.inc()
+    if outcome.view_label:
+        _REWRITE_SECONDS.observe(outcome.rewrite_seconds)
 
 
 @dataclass(frozen=True)
@@ -147,34 +181,41 @@ class OnlineModule:
         flagged ``degraded``: the answer (base graph or coarser view) is
         still correct, just slower, until the quarantined view rebuilds.
         """
-        degraded = bool(self._router.quarantined_candidates(query))
-        entry = self._router.route(query)
-        if entry is None:
-            return self.answer_from_base(query, degraded=degraded)
-        view = entry.definition
-        if self._catalog.is_stale(view):
-            self._repair(view)
+        with _TRACER.span("online.answer") as sp:
+            degraded = bool(self._router.quarantined_candidates(query))
+            entry = self._router.route(query)
+            if entry is None:
+                return self.answer_from_base(query, degraded=degraded,
+                                             _in_span=True)
+            view = entry.definition
+            if self._catalog.is_stale(view):
+                self._repair(view)
 
-        rewrite_start = time.perf_counter()
-        rewritten = rewrite_on_view(query, view)
-        engine = self._engine_for(view.iri)
-        prepared = engine.prepare(rewritten)
-        rewrite_seconds = time.perf_counter() - rewrite_start
+            rewrite_start = time.perf_counter()
+            rewritten = rewrite_on_view(query, view)
+            engine = self._engine_for(view.iri)
+            prepared = engine.prepare(rewritten)
+            rewrite_seconds = time.perf_counter() - rewrite_start
 
-        table, exec_seconds = engine.timed_query(prepared)
-        outcome = QueryOutcome(
-            query=query,
-            rows=len(table),
-            seconds=exec_seconds,
-            view_label=view.label,
-            rewrite_seconds=rewrite_seconds,
-            stale=self._catalog.is_stale(view),
-            degraded=degraded,
-        )
-        return Answer(table=table, outcome=outcome)
+            table, exec_seconds = engine.timed_query(prepared)
+            outcome = QueryOutcome(
+                query=query,
+                rows=len(table),
+                seconds=exec_seconds,
+                view_label=view.label,
+                rewrite_seconds=rewrite_seconds,
+                stale=self._catalog.is_stale(view),
+                degraded=degraded,
+            )
+            sp.set_tags(route="view", view=view.label, rows=len(table),
+                        stale=outcome.stale, degraded=degraded)
+            if _REG.enabled:
+                _observe_outcome(outcome)
+            return Answer(table=table, outcome=outcome)
 
     def answer_from_base(self, query: AnalyticalQuery,
-                         degraded: bool = False) -> Answer:
+                         degraded: bool = False,
+                         _in_span: bool = False) -> Answer:
         """Answer directly from the base graph (the no-view fallback)."""
         prepared = self._base_engine.prepare(query.to_select_query())
         table, exec_seconds = self._base_engine.timed_query(prepared)
@@ -185,7 +226,56 @@ class OnlineModule:
             view_label=None,
             degraded=degraded,
         )
+        if _in_span:
+            _TRACER.annotate(route="base", rows=len(table),
+                             degraded=degraded)
+        if _REG.enabled:
+            _observe_outcome(outcome)
         return Answer(table=table, outcome=outcome)
+
+    def explain(self, query: AnalyticalQuery):
+        """EXPLAIN ANALYZE plus the routing decision for one query.
+
+        Executes the query for real through the same route
+        :meth:`answer` would take (including stale-view repair under the
+        module's maintenance policy) and returns a
+        :class:`~repro.obs.explain.RoutedExplain`: which views were
+        candidates, which were quarantined, which one answered and why,
+        the rewrite cost, and the measured per-operator plan tree.
+        """
+        from ..obs.explain import RoutedExplain
+        quarantined = [e.label
+                       for e in self._router.quarantined_candidates(query)]
+        candidates = self._router.candidates(query)
+        described = [{"label": e.label, "groups": e.groups,
+                      "stale": self._catalog.is_stale(e.definition)}
+                     for e in candidates]
+        if not candidates:
+            why = "no usable view covers the query"
+            if quarantined:
+                why += " (every covering view is quarantined)"
+            plan = self._base_engine.explain(query.to_select_query())
+            return RoutedExplain(
+                query=query.describe(), route="base", why=why, view=None,
+                candidates=described, quarantined=quarantined,
+                rewrite_seconds=0.0, plan=plan)
+        entry = candidates[0]
+        view = entry.definition
+        if self._catalog.is_stale(view):
+            self._repair(view)
+        rewrite_start = time.perf_counter()
+        rewritten = rewrite_on_view(query, view)
+        engine = self._engine_for(view.iri)
+        prepared = engine.prepare(rewritten)
+        rewrite_seconds = time.perf_counter() - rewrite_start
+        why = f"ranked first of {len(candidates)} covering view(s)"
+        if self._catalog.is_stale(view):
+            why += "; serving a stale snapshot"
+        return RoutedExplain(
+            query=query.describe(), route="view", why=why,
+            view=view.label, candidates=described,
+            quarantined=quarantined, rewrite_seconds=rewrite_seconds,
+            plan=engine.explain(prepared))
 
     def run_workload(self, queries: Sequence[AnalyticalQuery],
                      force_base: bool = False) -> WorkloadRun:

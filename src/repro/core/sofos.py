@@ -221,6 +221,53 @@ class Sofos:
         """Answer a query using the materialized views when possible."""
         return self._require_online().answer(query)
 
+    @property
+    def obs(self):
+        """The process-global :class:`~repro.obs.ObservabilityHub`.
+
+        ``sofos.obs.enable()`` switches on metrics + span collection;
+        ``sofos.obs.snapshot()`` returns the combined dump rendered in
+        the console's observability panel.
+        """
+        from ..obs import hub
+        return hub()
+
+    def explain(self, query: AnalyticalQuery | str):
+        """EXPLAIN ANALYZE one query, including the routing decision.
+
+        Accepts an :class:`AnalyticalQuery` or raw SPARQL text (matched
+        against this facet the same way :meth:`answer_sparql` does).
+        The query executes for real; the returned
+        :class:`~repro.obs.explain.RoutedExplain` reports which view
+        answered (or why the base graph did), candidate/quarantined
+        views, rewrite cost, and per-operator wall time and row counts.
+        """
+        from ..obs.explain import RoutedExplain
+
+        if isinstance(query, str):
+            from ..sparql.parser import parse_query
+            from ..views.analyzer import analyze_query
+            ast = parse_query(query)
+            analytical = analyze_query(ast, self._facet) \
+                if self._online is not None else None
+            if analytical is None:
+                plan = self._offline.engine.explain(ast)
+                return RoutedExplain(
+                    query=ast.text or "<sparql>", route="base",
+                    why="query does not target the facet"
+                    if self._online is not None
+                    else "no views are materialized",
+                    view=None, candidates=[], quarantined=[],
+                    rewrite_seconds=0.0, plan=plan)
+            query = analytical
+        if self._online is not None:
+            return self._online.explain(query)
+        plan = self._offline.engine.explain(query.to_select_query())
+        return RoutedExplain(
+            query=query.describe(), route="base",
+            why="no views are materialized", view=None, candidates=[],
+            quarantined=[], rewrite_seconds=0.0, plan=plan)
+
     def answer_from_base(self, query: AnalyticalQuery) -> Answer:
         """Answer a query directly on G, ignoring any views."""
         if self._online is not None:

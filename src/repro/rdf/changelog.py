@@ -21,7 +21,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..obs import metrics as _metrics
+
 __all__ = ["GraphDelta", "ChangeLog", "DEFAULT_CHANGELOG_LIMIT"]
+
+_REG = _metrics.registry()
+_WINDOW_SIZE = _REG.histogram(
+    "maintenance_changelog_window_size",
+    "net changed triples per drained change-log window",
+    buckets=_metrics.DEFAULT_SIZE_BUCKETS)
+_TRUNCATIONS = _REG.counter(
+    "maintenance_changelog_truncations_total",
+    "change-log windows that overflowed (or were cleared) and gave up "
+    "itemizing")
 
 IdTriple = tuple[int, int, int]
 
@@ -100,6 +112,8 @@ class ChangeLog:
             del net[key]
 
     def _truncate(self) -> None:
+        if not self._truncated:
+            _TRUNCATIONS.inc()
         self._truncated = True
         self._net.clear()
 
@@ -130,6 +144,7 @@ class ChangeLog:
         subsequent ``drain()`` reports only changes made after this call.
         """
         delta = self._snapshot()
+        _WINDOW_SIZE.observe(delta.size)
         self._net = {}
         self._truncated = False
         self._from_version = delta.to_version

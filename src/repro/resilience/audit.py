@@ -22,6 +22,9 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..errors import ExpressionError
+from ..obs import get_logger
+from ..obs import metrics as _metrics
+from ..obs import tracing as _tracing
 from ..rdf.namespace import SOFOS
 from ..rdf.terms import Term
 from ..cube.view import COUNT_VAR, MEASURE_VAR, SUM_VAR, ViewDefinition
@@ -31,6 +34,14 @@ from ..views.maintenance import ViewMaintainer
 from ..views.materializer import dimension_predicate
 
 __all__ = ["ViewAudit", "AuditReport", "ConsistencyAuditor"]
+
+_LOG = get_logger("resilience.audit")
+_REG = _metrics.registry()
+_TRACER = _tracing.tracer()
+_AUDIT_RUNS = _REG.counter(
+    "audit_runs_total", "full consistency-audit passes over the catalog")
+_AUDIT_CORRUPT = _REG.counter(
+    "audit_corrupt_views_total", "views an audit found corrupt")
 
 
 @dataclass(frozen=True)
@@ -116,6 +127,17 @@ class ConsistencyAuditor:
 
     def audit(self, quarantine: bool = True) -> AuditReport:
         """Audit every catalog view; optionally quarantine the corrupt ones."""
+        with _TRACER.span("audit.run") as sp:
+            report = self._audit(quarantine)
+            sp.set_tags(ok=len(report.ok), corrupt=len(report.corrupt),
+                        skipped=len(report.skipped),
+                        quarantined=len(report.quarantined))
+        _AUDIT_RUNS.inc()
+        if _REG.enabled and report.corrupt:
+            _AUDIT_CORRUPT.inc(len(report.corrupt))
+        return report
+
+    def _audit(self, quarantine: bool) -> AuditReport:
         report = AuditReport()
         current = self._catalog.base_version
         for entry in self._catalog:
@@ -132,6 +154,9 @@ class ConsistencyAuditor:
                 continue
             result = self.audit_view(entry)
             report.results.append(result)
+            if result.status == "corrupt":
+                _LOG.warning("audit found view %s corrupt: %s",
+                             view.label, "; ".join(result.issues))
             if result.status == "corrupt" and quarantine:
                 self._catalog.quarantine(view, "; ".join(result.issues))
                 report.quarantined.append(view.label)

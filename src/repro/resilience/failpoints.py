@@ -20,6 +20,8 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from ..errors import FailpointError, ResilienceError, SimulatedCrash
+from ..obs import get_logger
+from ..obs import metrics as _metrics
 
 __all__ = [
     "KNOWN_FAILPOINTS",
@@ -78,6 +80,12 @@ class Failpoint:
 _registry: dict[str, Failpoint] = {}
 _suppress = 0
 
+_LOG = get_logger("resilience.failpoints")
+_FIRED = _metrics.registry().counter(
+    "resilience_failpoints_fired_total",
+    "injected failures actually triggered, by point and mode",
+    labels=("name", "mode"))
+
 
 def fail_at(name: str) -> None:
     """Trigger the failpoint ``name`` if it is armed.
@@ -94,6 +102,9 @@ def fail_at(name: str) -> None:
     if fp.hits <= fp.skip:
         return
     fp.fired += 1
+    _FIRED.inc(labels=(name, fp.mode))
+    _LOG.debug("failpoint %s fired (mode=%s, firing %d)", name, fp.mode,
+               fp.fired)
     if fp.count is not None and fp.fired >= fp.count:
         del _registry[name]
     if fp.mode == "delay":

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import time
 
+from ..obs import metrics as _metrics
 from ..rdf.graph import Graph
 from ..rdf.namespace import PrefixMap
 from ..rdf.terms import Variable
@@ -30,6 +31,14 @@ __all__ = ["PreparedQuery", "QueryEngine"]
 
 #: How many distinct query texts the engine memoizes compilations for.
 _PREPARED_CACHE_LIMIT = 1024
+
+_REG = _metrics.registry()
+_PREPARED_HITS = _REG.counter(
+    "engine_prepared_cache_hits_total",
+    "string queries answered from the prepared-query memo")
+_PREPARED_MISSES = _REG.counter(
+    "engine_prepared_cache_misses_total",
+    "string queries parsed + translated fresh")
 
 
 class PreparedQuery:
@@ -86,10 +95,14 @@ class QueryEngine:
             return PreparedQuery(query)
         prepared = self._prepared.get(query)
         if prepared is None:
+            if _REG.enabled:
+                _PREPARED_MISSES.inc()
             prepared = PreparedQuery.compile(query, self._prefixes)
             if len(self._prepared) >= _PREPARED_CACHE_LIMIT:
                 self._prepared.pop(next(iter(self._prepared)))
             self._prepared[query] = prepared
+        elif _REG.enabled:
+            _PREPARED_HITS.inc()
         return prepared
 
     def query(self, query: str | SelectQuery | PreparedQuery) -> ResultTable:
@@ -122,6 +135,26 @@ class QueryEngine:
             batch = BindingBatch(tuple(variables), columns, batch.prov)
         return ResultTable(variables,
                            batch.decode_rows(self._executor.decode_id))
+
+    def explain(self, query: str | SelectQuery | PreparedQuery):
+        """EXPLAIN ANALYZE: execute and return the measured plan tree.
+
+        The query runs for real (same code path as :meth:`query`, with a
+        thin per-operator timing wrapper active in the executor); the
+        returned :class:`~repro.obs.explain.QueryExplain` carries the
+        operator tree with inclusive/exclusive wall time and row counts,
+        the decoded result table, and a total wall clock comparable to
+        :meth:`timed_query`.
+        """
+        # Imported lazily: obs.explain sits above the sparql layer.
+        from ..obs.explain import build_query_explain
+        prepared = self.prepare(query)
+        variables = prepared.ast.projected_variables()
+        start = time.perf_counter()
+        batch, records = self._executor.run_ids_explained(prepared.plan)
+        table = self._decode_table(variables, batch)
+        total = time.perf_counter() - start
+        return build_query_explain(prepared, table, records, total)
 
     def timed_query(self, query: str | SelectQuery | PreparedQuery
                     ) -> tuple[ResultTable, float]:

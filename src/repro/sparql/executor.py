@@ -34,9 +34,12 @@ streaming early termination under a single concrete binding).
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Iterator, Optional
 
 from ..errors import ExpressionError, QueryEvaluationError
+from ..obs import metrics as _metrics
+from ..obs import tracing as _tracing
 from ..rdf.graph import Graph
 from ..rdf.terms import Term, Variable, typed_literal
 from ..rdf.triples import TriplePattern
@@ -57,6 +60,42 @@ Binding = dict[Variable, Term]
 
 #: Memo sentinel for "operand evaluation raised ExpressionError".
 _EVAL_ERROR = object()
+
+# Observability instruments for the executor's hot seams.  Disabled (the
+# default) every seam costs one `_REG.enabled` attribute read; the
+# instruments only accumulate while the registry is switched on.
+_REG = _metrics.registry()
+_TRACER = _tracing.tracer()
+_BGP_PLAN_HITS = _REG.counter(
+    "engine_bgp_plan_cache_hits_total",
+    "compiled id-space BGP plan reused from the per-version cache")
+_BGP_PLAN_MISSES = _REG.counter(
+    "engine_bgp_plan_cache_misses_total",
+    "BGP plans compiled fresh (cold cache or graph version moved)")
+_DECODE_MEMO_HITS = _REG.counter(
+    "engine_decode_memo_hits_total",
+    "per-row expression rows answered from the distinct-id memo")
+_DECODE_MEMO_MISSES = _REG.counter(
+    "engine_decode_memo_misses_total",
+    "distinct id tuples that actually decoded + evaluated")
+_PROBE_KEYS = _REG.counter(
+    "engine_probe_keys_total",
+    "distinct probe keys fanned out to the triple index")
+_PROBE_ROWS = _REG.counter(
+    "engine_probe_rows_total",
+    "batch rows entering BGP index probes")
+
+
+class _OpStats:
+    """Per-operator accumulator for EXPLAIN ANALYZE runs."""
+
+    __slots__ = ("calls", "seconds", "rows_in", "rows_out")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.seconds = 0.0
+        self.rows_in = 0
+        self.rows_out = 0
 
 
 class Executor:
@@ -81,6 +120,9 @@ class Executor:
         self._exists_cache: dict[GroupPattern, AlgebraOp] = {}
         self._reference = None
         self._ctx = EvalContext(exists=self._exists)
+        # EXPLAIN ANALYZE: {id(op): _OpStats} while an explained run is
+        # active, else None (the disabled fast path in _eval).
+        self._explain: Optional[dict[int, _OpStats]] = None
 
     # -- term ↔ id bridging ---------------------------------------------------
 
@@ -137,7 +179,31 @@ class Executor:
     def run_ids(self, op: AlgebraOp, seed: Binding | None = None
                 ) -> BindingBatch:
         """Evaluate ``op`` and return the raw id-space result batch."""
-        return self._eval(op, self._seed_batch(seed))
+        if not _TRACER.enabled:
+            return self._eval(op, self._seed_batch(seed))
+        with _TRACER.span("executor.run", op=type(op).__name__) as sp:
+            batch = self._eval(op, self._seed_batch(seed))
+            sp.set_tag("rows_out", len(batch))
+            return batch
+
+    def run_ids_explained(self, op: AlgebraOp, seed: Binding | None = None
+                          ) -> tuple[BindingBatch, dict[int, _OpStats]]:
+        """Evaluate ``op`` with per-operator timing (EXPLAIN ANALYZE).
+
+        Returns the result batch plus ``{id(op): stats}`` records for
+        every operator dispatched; fold them back onto the plan with
+        :func:`repro.obs.explain.build_query_explain`.
+        """
+        if self._explain is not None:
+            raise QueryEvaluationError(
+                "explained evaluation is not re-entrant")
+        records: dict[int, _OpStats] = {}
+        self._explain = records
+        try:
+            batch = self.run_ids(op, seed)
+        finally:
+            self._explain = None
+        return batch, records
 
     def group_table(self, op: AlgebraOp, keys: tuple[Variable, ...],
                     operand: Optional[Variable], kind: str,
@@ -190,6 +256,22 @@ class Executor:
     # -- dispatch ------------------------------------------------------------
 
     def _eval(self, op: AlgebraOp, seed: BindingBatch) -> BindingBatch:
+        records = self._explain
+        if records is None:
+            return self._eval_inner(op, seed)
+        start = perf_counter()
+        out = self._eval_inner(op, seed)
+        elapsed = perf_counter() - start
+        stats = records.get(id(op))
+        if stats is None:
+            records[id(op)] = stats = _OpStats()
+        stats.calls += 1
+        stats.seconds += elapsed
+        stats.rows_in += len(seed)
+        stats.rows_out += len(out)
+        return out
+
+    def _eval_inner(self, op: AlgebraOp, seed: BindingBatch) -> BindingBatch:
         if isinstance(op, UnitOp):
             return seed.renumbered()
         if isinstance(op, BGPOp):
@@ -243,7 +325,11 @@ class Executor:
             pattern_vars.update(p.variables())
         key = (patterns, frozenset(v for v in seed_vars if v in pattern_vars))
         if key in self._bgp_cache:
+            if _REG.enabled:
+                _BGP_PLAN_HITS.inc()
             return self._bgp_cache[key]
+        if _REG.enabled:
+            _BGP_PLAN_MISSES.inc()
 
         dictionary = self._dict
         compiled: Optional[tuple] = None
@@ -386,6 +472,10 @@ class Executor:
                     groups[key] = [i]
                 else:
                     group.append(i)
+
+        if _REG.enabled:
+            _PROBE_ROWS.inc(n)
+            _PROBE_KEYS.inc(len(groups))
 
         out_index: list[int] = []
 
@@ -710,6 +800,9 @@ class Executor:
                     value = fn(binding_for((tid,)))
                     memo[tid] = value
                     out_values.append(value)
+            if _REG.enabled:
+                _DECODE_MEMO_MISSES.inc(len(memo))
+                _DECODE_MEMO_HITS.inc(len(out_values) - len(memo))
             return out_values
         for key in zip(*cols):
             if key in memo:
@@ -718,6 +811,9 @@ class Executor:
                 value = fn(binding_for(key))
                 memo[key] = value
                 out_values.append(value)
+        if _REG.enabled:
+            _DECODE_MEMO_MISSES.inc(len(memo))
+            _DECODE_MEMO_HITS.inc(len(out_values) - len(memo))
         return out_values
 
     def _needed_vars(self, batch: BindingBatch,

@@ -13,6 +13,9 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from ..errors import ViewError
+from ..obs import get_logger
+from ..obs import metrics as _metrics
+from ..obs import tracing as _tracing
 from ..resilience.failpoints import fail_at, suppressed
 from ..rdf.dataset import Dataset
 from ..rdf.graph import Graph
@@ -29,6 +32,17 @@ __all__ = ["MaterializedView", "ViewCatalog"]
 
 #: Sentinel: a facet whose aggregate cannot be derived from a group table.
 _UNSUPPORTED = object()
+
+_LOG = get_logger("views.catalog")
+_REG = _metrics.registry()
+_TRACER = _tracing.tracer()
+_MATERIALIZED = _REG.counter(
+    "views_materialized_total", "views built into the catalog")
+_REFRESHES = _REG.counter(
+    "views_refreshed_total", "single-view full rebuilds (refresh)")
+_QUARANTINE_EVENTS = _REG.counter(
+    "views_quarantine_events_total",
+    "views pulled from serving pending a rebuild")
 
 
 @dataclass(frozen=True)
@@ -131,6 +145,7 @@ class ViewCatalog:
             base_version=self._engine.graph.version,
         )
         self._entries[view.mask] = entry
+        _MATERIALIZED.inc()
         return entry
 
     def materialize_all(self, views: Iterable[ViewDefinition]
@@ -165,7 +180,8 @@ class ViewCatalog:
                         if self._dataset.get_graph(view.iri) is not None}
         built: list[MaterializedView] = []
         try:
-            self._materialize_batch(batch, built)
+            with _TRACER.span("catalog.materialize_all", views=len(batch)):
+                self._materialize_batch(batch, built)
         except BaseException:
             with suppressed():
                 for view in batch:
@@ -223,12 +239,14 @@ class ViewCatalog:
         operand = self._rollup_operand(facet)
         kind = KIND_BY_AGGREGATE[facet.aggregate.name]
 
-        scan_start = time.perf_counter()
-        prepared = engine.prepare(facet.binding_query())
-        table = executor.group_table(
-            prepared.plan, facet.mask_variables(plan.table_mask), operand,
-            kind, keep_max=facet.aggregate.name == "MAX")
-        scan_seconds = time.perf_counter() - scan_start
+        with _TRACER.span("catalog.rollup_scan", facet=facet.name) as sp:
+            scan_start = time.perf_counter()
+            prepared = engine.prepare(facet.binding_query())
+            table = executor.group_table(
+                prepared.plan, facet.mask_variables(plan.table_mask),
+                operand, kind, keep_max=facet.aggregate.name == "MAX")
+            scan_seconds = time.perf_counter() - scan_start
+            sp.set_tags(groups=len(table), views=len(group))
 
         tables = {plan.table_mask: table}
         views_by_mask = {v.mask: v for v in group}
@@ -265,6 +283,7 @@ class ViewCatalog:
             else:
                 self.restored_group_indexes.pop(view.mask, None)
             built.append(entry)
+            _MATERIALIZED.inc()
 
     def drop(self, view: ViewDefinition) -> bool:
         """Drop a view's graph, catalog entry, and any quarantine flag."""
@@ -356,6 +375,10 @@ class ViewCatalog:
         if view.mask not in self._entries:
             raise ViewError(f"view {view.label!r} is not materialized")
         self._quarantined[view.mask] = reason
+        # Counter and quarantine map move together: the robustness
+        # benchmark cross-checks this count against observed reports.
+        _QUARANTINE_EVENTS.inc()
+        _LOG.warning("quarantined view %s: %s", view.label, reason)
 
     def clear_quarantine(self, view: ViewDefinition) -> bool:
         """Return a view to serving; True when it was quarantined."""
@@ -396,7 +419,8 @@ class ViewCatalog:
         # for this view now references dropped ids and must not be adopted.
         self.restored_group_indexes.pop(view.mask, None)
         try:
-            stats = materialize_view(view, self._engine, target)
+            with _TRACER.span("catalog.refresh", view=view.label):
+                stats = materialize_view(view, self._engine, target)
         except BaseException:
             with suppressed():
                 target.clear()
@@ -414,6 +438,7 @@ class ViewCatalog:
         )
         self._entries[view.mask] = entry
         self._quarantined.pop(view.mask, None)
+        _REFRESHES.inc()
         return entry
 
     def refresh_stale(self) -> list[MaterializedView]:
@@ -448,7 +473,8 @@ class ViewCatalog:
             self.restored_group_indexes.pop(view.mask, None)
             views.append(view)
         try:
-            refreshed = self.materialize_all(views)
+            with _TRACER.span("catalog.refresh_stale", views=len(views)):
+                refreshed = self.materialize_all(views)
         except BaseException:
             with suppressed():
                 for entry, graph, snapshot in snapshots:

@@ -37,6 +37,9 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..errors import ExpressionError, ViewError
+from ..obs import get_logger
+from ..obs import metrics as _metrics
+from ..obs import tracing as _tracing
 from ..resilience.failpoints import fail_at, suppressed
 from ..rdf.graph import Graph
 from ..rdf.namespace import SOFOS
@@ -58,6 +61,43 @@ __all__ = ["MAINTENANCE_POLICIES", "GroupState", "GroupIndex",
 #: group-level deltas eagerly at answer/maintain time, ``deferred`` serves
 #: the frozen snapshot and patches only on explicit ``maintain()`` calls.
 MAINTENANCE_POLICIES = ("rebuild", "incremental", "deferred")
+
+_LOG = get_logger("views.maintenance")
+_REG = _metrics.registry()
+_TRACER = _tracing.tracer()
+_WINDOWS = _REG.counter(
+    "maintenance_windows_total",
+    "synchronize passes that drained a change window")
+_DECISIONS = _REG.counter(
+    "maintenance_decisions_total",
+    "per-view maintenance outcomes by action and reason category",
+    labels=("action", "reason"))
+_ROLLBACKS = _REG.counter(
+    "maintenance_rollbacks_total",
+    "patch windows rolled back to the pre-patch snapshot")
+
+#: Free-text rebuild reasons normalized to a bounded label set.
+_REASON_CATEGORIES = {
+    "change log truncated": "log_truncated",
+    "rebuild forced": "forced",
+    "view out of sync with the change window": "out_of_sync",
+    "facet shape is not delta-evaluable": "not_delta_evaluable",
+    "MIN/MAX cannot be patched under deletions": "minmax_deletions",
+    "delta not incrementally evaluable": "not_delta_evaluable",
+    "group index inconsistent with delta": "index_inconsistent",
+}
+
+
+def _reason_category(reason: Optional[str]) -> str:
+    if reason is None:
+        return "ok"
+    if reason.startswith("quarantined:"):
+        return "quarantined"
+    if reason.startswith("delta of "):
+        return "delta_budget_exceeded"
+    if reason.startswith("patch window rolled back"):
+        return "patch_rolled_back"
+    return _REASON_CATEGORIES.get(reason, "other")
 
 
 def aggregate_kind(aggregate_name: str) -> str:
@@ -299,6 +339,22 @@ class ViewMaintainer:
         that itself fails quarantines the view — the failure lands in the
         report instead of propagating half-applied state to callers.
         """
+        if not _TRACER.enabled:
+            return self._synchronize(force_rebuild)
+        # The span closes (and records the error) even when a simulated
+        # crash unwinds mid-window — SimulatedCrash is a BaseException
+        # and still flows through the with-statement's __exit__.
+        with _TRACER.span("maintenance.synchronize") as sp:
+            report = self._synchronize(force_rebuild)
+            sp.set_tags(inserted=report.inserted, deleted=report.deleted,
+                        truncated=report.truncated,
+                        rollbacks=report.rollbacks,
+                        patched=len(report.patched),
+                        rebuilt=len(report.rebuilt),
+                        quarantined=len(report.quarantined))
+            return report
+
+    def _synchronize(self, force_rebuild: bool) -> MaintenanceReport:
         if self._closed:
             raise ViewError("maintainer is closed")
         fail_at("maintenance.synchronize.window")
@@ -310,6 +366,7 @@ class ViewMaintainer:
             deleted=len(delta.deleted),
             truncated=delta.truncated,
         )
+        _WINDOWS.inc()
         catalog = self._catalog
         current = catalog.base_version
         quarantined = {view.mask for view in catalog.quarantined_views()}
@@ -355,6 +412,10 @@ class ViewMaintainer:
                     label=view.label, action="patched",
                     groups_created=created, groups_updated=updated,
                     groups_deleted=deleted, seconds=seconds))
+                _DECISIONS.inc(labels=("patched", "ok"))
+                _LOG.debug("patched view %s (+%d ~%d -%d groups) in "
+                           "%.3f ms", view.label, created, updated,
+                           deleted, seconds * 1e3)
             else:
                 self._indexes.pop(view.mask, None)
                 try:
@@ -368,10 +429,18 @@ class ViewMaintainer:
                     report.views.append(ViewMaintenance(
                         label=view.label, action="quarantined",
                         seconds=time.perf_counter() - start, reason=reason))
+                    _DECISIONS.inc(
+                        labels=("quarantined", _reason_category(reason)))
+                    _LOG.warning("quarantined view %s: rebuild failed "
+                                 "(%s) after patch declined (%s)",
+                                 view.label, exc, reason)
                 else:
                     report.views.append(ViewMaintenance(
                         label=view.label, action="rebuilt",
                         seconds=time.perf_counter() - start, reason=reason))
+                    _DECISIONS.inc(
+                        labels=("rebuilt", _reason_category(reason)))
+                    _LOG.info("rebuilt view %s (%s)", view.label, reason)
         return report
 
     def _patch_with_rollback(self, entry: MaterializedView,
@@ -397,6 +466,11 @@ class ViewMaintainer:
                 stats = self._patch_view(entry, adjustments)
             except Exception as exc:
                 report.rollbacks += 1
+                # Counter and report increment together: the robustness
+                # benchmark asserts they agree exactly.
+                _ROLLBACKS.inc()
+                _LOG.debug("patch of %s rolled back (attempt %d/%d): %s",
+                           entry.label, attempt + 1, attempts, exc)
                 last_error = exc
                 continue
             if stats is None:

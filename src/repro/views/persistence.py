@@ -40,6 +40,9 @@ from typing import Optional
 
 from ..errors import CatalogCorruptError, ExpressionError, ParseError, \
     TermError, ViewError
+from ..obs import get_logger
+from ..obs import metrics as _metrics
+from ..obs import tracing as _tracing
 from ..resilience.failpoints import fail_at
 from ..rdf.dataset import Dataset
 from ..rdf.graph import Graph
@@ -59,6 +62,14 @@ DATASET_FILE = "expanded.nq"
 MANIFEST_FILE = "catalog.json"
 _FORMAT_VERSION = 3
 _SUPPORTED_FORMATS = (1, 2, 3)
+
+_LOG = get_logger("views.persistence")
+_REG = _metrics.registry()
+_TRACER = _tracing.tracer()
+_SAVES = _REG.counter(
+    "persistence_saves_total", "expanded-dataset save operations completed")
+_LOADS = _REG.counter(
+    "persistence_loads_total", "expanded-dataset load operations completed")
 
 
 @dataclass(frozen=True)
@@ -188,6 +199,15 @@ def save_expanded(catalog: ViewCatalog, directory: str) -> None:
     crash between the two renames (new dataset, old manifest) is
     detectable on load rather than silently mixing generations.
     """
+    with _TRACER.span("persistence.save", directory=directory) as sp:
+        _save_expanded(catalog, directory)
+        sp.set_tags(views=len(catalog))
+    _SAVES.inc()
+    _LOG.info("saved expanded dataset (%d views) to %s", len(catalog),
+              directory)
+
+
+def _save_expanded(catalog: ViewCatalog, directory: str) -> None:
     os.makedirs(directory, exist_ok=True)
     by_graph = _graph_lines(catalog.dataset)
     all_lines = sorted(line for lines in by_graph.values() for line in lines)
@@ -268,6 +288,26 @@ def load_expanded(directory: str, facet: AnalyticalFacet, *,
     Malformed or truncated manifests raise :class:`CatalogCorruptError`
     naming the offending file in either mode.
     """
+    with _TRACER.span("persistence.load", directory=directory,
+                      recover=recover) as sp:
+        dataset, catalog = _load_expanded(directory, facet, recover=recover)
+        sp.set_tags(views=len(catalog))
+    _LOADS.inc()
+    recovery = getattr(catalog, "recovery", None)
+    if recovery is not None and (recovery.rebuilding
+                                 or not recovery.base_verified):
+        _LOG.warning(
+            "recovered expanded dataset from %s: %d intact, %d rebuilding, "
+            "base %sverified", directory, len(recovery.intact),
+            len(recovery.rebuilding), "" if recovery.base_verified else "un")
+    else:
+        _LOG.info("loaded expanded dataset (%d views) from %s",
+                  len(catalog), directory)
+    return dataset, catalog
+
+
+def _load_expanded(directory: str, facet: AnalyticalFacet, *,
+                   recover: bool = False) -> tuple[Dataset, ViewCatalog]:
     fail_at("persistence.load")
     manifest_path = os.path.join(directory, MANIFEST_FILE)
     dataset_path = os.path.join(directory, DATASET_FILE)

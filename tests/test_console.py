@@ -139,6 +139,18 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "Query performance analyzer" in out
 
+    def test_observe_command(self, capsys):
+        assert main(["observe", "--dataset", "dbpedia", "--scale", "tiny",
+                     "--facet", "population_by_language_year",
+                     "--queries", "4", "--batches", "1",
+                     "--operations", "5", "--k", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN ANALYZE" in out
+        assert "Observability" in out
+        assert "maintenance windows" in out
+        from repro.obs import hub
+        assert hub().enabled is False
+
     def test_challenge_command(self, capsys):
         assert main(["challenge", "--dataset", "dbpedia", "--scale", "tiny",
                      "--facet", "population_by_language_year",

@@ -229,9 +229,12 @@ class TestQueryCharacteristics:
         assert len(records) == 6
         for record in records:
             assert set(record) == {"query", "group_level", "filters",
-                                   "answered_by", "rows", "ms"}
+                                   "answered_by", "rows", "ms",
+                                   "stale", "degraded"}
             assert record["group_level"] is not None
             assert record["ms"] >= 0
+            assert record["stale"] is False
+            assert record["degraded"] is False
 
     def test_characteristics_panel_renders(self, sofos):
         from repro.console.panels import panel_query_characteristics

@@ -18,6 +18,7 @@ EXAMPLES = [
     "lubm_analytics.py",
     "scholarly_analytics.py",
     "live_updates.py",
+    "observability_demo.py",
 ]
 
 EXPECTED_SNIPPETS = {
@@ -26,6 +27,7 @@ EXPECTED_SNIPPETS = {
     "lubm_analytics.py": "no views:",
     "scholarly_analytics.py": "optimal",
     "live_updates.py": "refreshed:",
+    "observability_demo.py": "EXPLAIN ANALYZE",
 }
 
 

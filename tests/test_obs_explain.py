@@ -1,0 +1,137 @@
+"""EXPLAIN ANALYZE: measured plan trees and routing decisions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sofos import Sofos
+from repro.obs.explain import ExplainNode, QueryExplain, RoutedExplain
+from repro.sparql import QueryEngine
+
+from tests.conftest import build_population_graph
+
+POP_QUERY = """
+PREFIX ex: <http://example.org/>
+SELECT ?year (SUM(?pop) AS ?total) WHERE {
+  ?obs ex:ofCountry ?c ; ex:year ?year ; ex:population ?pop .
+  ?c ex:language ?lang .
+} GROUP BY ?year
+"""
+
+
+@pytest.fixture
+def engine() -> QueryEngine:
+    return QueryEngine(build_population_graph())
+
+
+@pytest.fixture
+def sofos(population_facet) -> Sofos:
+    return Sofos(build_population_graph(), population_facet, seed=0)
+
+
+class TestEngineExplain:
+    def test_rows_match_the_real_query(self, engine):
+        ex = engine.explain(POP_QUERY)
+        table = engine.query(POP_QUERY)
+        assert isinstance(ex, QueryExplain)
+        assert ex.rows == len(table)
+        assert ex.root.rows_out == len(table)
+
+    def test_tree_structure_and_invariants(self, engine):
+        ex = engine.explain(POP_QUERY)
+        nodes = list(ex.root.walk())
+        assert len(nodes) >= 3          # Project > ... > BGP at minimum
+        operators = {n.operator for n in nodes}
+        assert "Project" in operators
+        for node in nodes:
+            assert node.calls >= 1
+            assert node.seconds >= 0.0
+            assert 0.0 <= node.self_seconds <= node.seconds + 1e-9
+            assert isinstance(node, ExplainNode)
+        # inclusive time covers the children
+        for node in nodes:
+            child_sum = sum(c.seconds for c in node.children)
+            assert node.seconds >= child_sum - 1e-9
+
+    def test_totals_agree_with_timed_query(self, engine):
+        prepared = engine.prepare(POP_QUERY)
+        # warm caches on both paths so the comparison sees steady state
+        engine.query(prepared)
+        ex = engine.explain(prepared)
+        _table, seconds = engine.timed_query(prepared)
+        assert ex.total_seconds > 0.0
+        assert seconds > 0.0
+        # Same code path, thin timing wrapper: totals agree within noise.
+        # Tiny queries are jittery, so the bound is generous but two-sided.
+        ratio = ex.total_seconds / seconds
+        assert 1 / 50 < ratio < 50
+        assert ex.total_seconds >= ex.root.seconds
+        assert ex.decode_seconds >= 0.0
+
+    def test_render_mentions_operators_and_rows(self, engine):
+        text = engine.explain(POP_QUERY).render()
+        assert "EXPLAIN ANALYZE" in text
+        assert "Project" in text
+        assert "rows=" in text
+
+    def test_to_dict_is_json_shaped(self, engine):
+        payload = engine.explain(POP_QUERY).to_dict()
+        assert payload["rows"] == payload["plan"]["rows_out"]
+        assert isinstance(payload["plan"]["children"], list)
+
+    def test_explain_not_reentrant(self, engine):
+        # run_ids_explained guards against nested explain on one executor
+        prepared = engine.prepare(POP_QUERY)
+        batch, records = engine._executor.run_ids_explained(prepared.plan)
+        assert records and len(batch) > 0
+
+
+class TestRoutedExplain:
+    def test_view_route(self, sofos):
+        sofos.select_and_materialize("agg_values", k=2)
+        query = sofos.generate_workload(1)[0]
+        ex = sofos.explain(query)
+        assert isinstance(ex, RoutedExplain)
+        assert ex.route in ("view", "base")
+        if ex.route == "view":
+            assert ex.view is not None
+            assert ex.candidates
+            assert ex.rewrite_seconds >= 0.0
+        answer = sofos.answer(query)
+        assert ex.plan.rows == len(answer.table)
+        text = ex.render()
+        assert "ROUTE" in text and "EXPLAIN ANALYZE" in text
+
+    def test_base_route_without_views(self, sofos):
+        query = sofos.generate_workload(1)[0]
+        ex = sofos.explain(query)
+        assert ex.route == "base"
+        assert ex.view is None
+        assert "no views are materialized" in ex.why
+
+    def test_raw_sparql_matching_the_facet(self, sofos):
+        from repro.workload.templates import render_analytical_query
+        sofos.select_and_materialize("agg_values", k=2)
+        query = sofos.generate_workload(1)[0]
+        ex = sofos.explain(render_analytical_query(query))
+        assert isinstance(ex, RoutedExplain)
+        assert ex.plan.rows >= 0
+
+    def test_raw_sparql_not_matching_routes_base(self, sofos):
+        sofos.select_and_materialize("agg_values", k=1)
+        ex = sofos.explain("""
+            PREFIX ex: <http://example.org/>
+            SELECT ?c WHERE { ?c ex:name ?n . }
+        """)
+        assert ex.route == "base"
+        assert "does not target the facet" in ex.why
+        assert ex.plan.rows == 4          # four named countries
+
+    def test_online_explain_agrees_with_answer(self, sofos):
+        sofos.select_and_materialize("agg_values", k=2)
+        for query in sofos.generate_workload(4):
+            ex = sofos.explain(query)
+            answer = sofos.answer(query)
+            assert ex.plan.rows == len(answer.table)
+            if answer.used_view is not None:
+                assert ex.route == "view"

@@ -1,0 +1,190 @@
+"""The metrics registry: instrument semantics, snapshots, exports."""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden", "metrics.prom")
+
+
+@pytest.fixture
+def reg() -> MetricsRegistry:
+    return MetricsRegistry(enabled=True)
+
+
+class TestCounter:
+    def test_inc_and_value(self, reg):
+        c = reg.counter("hits_total", "hits")
+        c.inc()
+        c.inc(4)
+        assert c.value() == 5
+        assert c.total() == 5
+
+    def test_labels(self, reg):
+        c = reg.counter("routed_total", "answers", labels=("route",))
+        c.inc(labels=("view",))
+        c.inc(2, labels=("base",))
+        assert c.value(("view",)) == 1
+        assert c.value(("base",)) == 2
+        assert c.total() == 3
+        assert reg.value("routed_total", ("base",)) == 2
+        assert reg.counter_total("routed_total") == 3
+
+    def test_label_arity_enforced(self, reg):
+        c = reg.counter("arity_total", "x", labels=("a", "b"))
+        with pytest.raises(ValueError):
+            c.inc(labels=("only-one",))
+
+    def test_disabled_records_nothing(self):
+        off = MetricsRegistry()          # disabled by default
+        c = off.counter("cold_total", "cold")
+        c.inc(100)
+        assert c.value() == 0
+        off.enable()
+        c.inc()
+        assert c.value() == 1
+        off.disable()
+        c.inc()
+        assert c.value() == 1
+
+    def test_get_or_create_returns_same_instrument(self, reg):
+        assert reg.counter("same_total") is reg.counter("same_total")
+
+    def test_kind_collision_rejected(self, reg):
+        reg.counter("clash", "as counter")
+        with pytest.raises(ValueError):
+            reg.gauge("clash", "as gauge")
+
+    def test_label_schema_collision_rejected(self, reg):
+        reg.counter("schema_total", labels=("a",))
+        with pytest.raises(ValueError):
+            reg.counter("schema_total", labels=("b",))
+
+    def test_invalid_name_rejected(self, reg):
+        with pytest.raises(ValueError):
+            reg.counter("bad-name")
+
+
+class TestGauge:
+    def test_set_add(self, reg):
+        g = reg.gauge("depth", "queue depth")
+        g.set(3)
+        g.add(2)
+        g.add(-4)
+        assert g.value() == 1
+
+
+class TestHistogram:
+    def test_counts_and_bucket_assignment(self, reg):
+        h = reg.histogram("sizes", "sizes", buckets=(10, 100))
+        for v in (1, 10, 11, 150):
+            h.observe(v)
+        assert h.count() == 4
+        assert h.total_count() == 4
+        # le semantics: 1 and 10 land in the first bucket, 11 in the
+        # second, 150 in the +Inf overflow
+        series = h._series[()]
+        assert series.counts == [2, 1, 1]
+        assert series.min == 1 and series.max == 150
+
+    def test_percentile_interpolates_and_clamps(self, reg):
+        h = reg.histogram("lat", "latency", buckets=(0.1, 1.0, 10.0))
+        for v in (0.2, 0.4, 0.6, 0.8):
+            h.observe(v)
+        p50 = h.percentile(0.50)
+        # All mass sits in the (0.1, 1.0] bucket; the estimate must stay
+        # inside the observed range, not snap to a bucket boundary.
+        assert 0.2 <= p50 <= 0.8
+        assert h.percentile(0.0) >= 0.2
+        assert h.percentile(1.0) == pytest.approx(0.8)
+        assert math.isnan(h.percentile(0.5, labels=())) is False
+
+    def test_percentile_empty_is_nan(self, reg):
+        h = reg.histogram("empty", "never observed")
+        assert math.isnan(h.percentile(0.5))
+
+    def test_merged_percentile_across_labels(self, reg):
+        h = reg.histogram("routed", "latency", labels=("route",),
+                          buckets=(1.0,))
+        h.observe(0.5, labels=("view",))
+        h.observe(0.7, labels=("base",))
+        merged = h.merged_percentile(0.99)
+        assert 0.5 <= merged <= 0.7
+
+    def test_needs_buckets(self, reg):
+        with pytest.raises(ValueError):
+            reg.histogram("nobuckets", buckets=())
+
+
+class TestRegistry:
+    def test_enable_disable_sync_existing_instruments(self):
+        r = MetricsRegistry()
+        c = r.counter("sync_total")
+        r.enable()
+        c.inc()
+        r.disable()
+        c.inc()
+        assert c.value() == 1
+
+    def test_reset_clears_series_keeps_instruments(self, reg):
+        c = reg.counter("kept_total")
+        c.inc(9)
+        reg.reset()
+        assert c.value() == 0
+        assert reg.counter("kept_total") is c
+
+    def test_snapshot_isolated_from_later_updates(self, reg):
+        c = reg.counter("snap_total")
+        c.inc(1)
+        h = reg.histogram("snap_hist", buckets=(1.0,))
+        h.observe(0.5)
+        snap = reg.snapshot()
+        c.inc(100)
+        h.observe(0.9)
+        assert snap["counters"]["snap_total"]["series"][""] == 1
+        assert snap["histograms"]["snap_hist"]["series"][""]["count"] == 1
+
+    def test_snapshot_shape(self, reg):
+        reg.counter("a_total", labels=("x",)).inc(labels=("v",))
+        reg.gauge("b").set(2)
+        reg.histogram("c", buckets=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert snap["enabled"] is True
+        assert snap["counters"]["a_total"]["labels"] == ["x"]
+        assert snap["counters"]["a_total"]["series"]["v"] == 1
+        hist = snap["histograms"]["c"]["series"][""]
+        assert hist["count"] == 1
+        assert hist["p50"] == pytest.approx(0.5)
+        assert set(hist["buckets"]) == {"1", "+Inf"}
+
+    def test_to_json_round_trips(self, reg):
+        reg.counter("j_total").inc(2)
+        reg.histogram("j_hist", buckets=(1.0,)).observe(0.25)
+        decoded = json.loads(reg.to_json())
+        assert decoded["counters"]["j_total"]["series"][""] == 2
+        assert decoded["histograms"]["j_hist"]["series"][""]["sum"] == 0.25
+
+    def test_prometheus_golden(self, reg):
+        c = reg.counter("requests_total", "requests served",
+                        labels=("route",))
+        c.inc(3, labels=("view",))
+        c.inc(1, labels=("base",))
+        reg.gauge("queue_depth", "queued windows").set(7)
+        h = reg.histogram("latency_seconds", "query latency",
+                          buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        with open(GOLDEN, encoding="utf-8") as handle:
+            assert reg.to_prometheus() == handle.read()
+
+    def test_prometheus_escapes_label_values(self, reg):
+        c = reg.counter("esc_total", labels=("why",))
+        c.inc(labels=('say "hi"\nthere',))
+        text = reg.to_prometheus()
+        assert 'why="say \\"hi\\"\\nthere"' in text
