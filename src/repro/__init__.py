@@ -26,6 +26,17 @@ for an EXPLAIN ANALYZE::
     sofos.obs.enable()
     print(sofos.explain("SELECT ...").render())
     print(sofos.obs.metrics.to_prometheus())
+
+The storage layout is pluggable.  The default backend keeps the three
+permutation indexes as nested dicts; the columnar backend keeps them as
+sorted contiguous id-columns with binary-search probes and vectorized
+batch kernels (fastest for analytical scans/joins on a static graph)::
+
+    from repro import Graph
+
+    g = Graph(store="columnar")      # or REPRO_STORE=columnar in the env
+    g.add(triple)
+    print(g.store_kind)              # "columnar"
 """
 
 from .core.sofos import DEFAULT_MODELS, Sofos

@@ -210,6 +210,23 @@ def panel_observability(hub: ObservabilityHub, max_spans: int = 6) -> str:
         ("cache", "hits", "misses", "rate"), cache_rows,
         align_right=[False, True, True, True]))
 
+    storage_rows = [
+        ["probe rows", str(reg.counter_total("engine_probe_rows_total"))],
+        ["distinct probe keys",
+         str(reg.counter_total("engine_probe_keys_total"))],
+    ]
+    bulk = reg.get("engine_probe_bulk_total")
+    if bulk is not None:
+        for key, count in bulk.labeled_series():
+            storage_rows.append([f"bulk kernel probes [{key[0]}]",
+                                 str(count)])
+    storage_rows.append(
+        ["store compactions",
+         str(reg.counter_total("store_compactions_total"))])
+    parts.append("Storage engine:\n" + format_table(
+        ("probe/kernel", "count"), storage_rows,
+        align_right=[False, True]))
+
     decisions = reg.get("maintenance_decisions_total")
     decision_rows = []
     if decisions is not None:

@@ -7,6 +7,7 @@ models) talks to graphs only through this public surface.
 """
 
 from .changelog import ChangeLog, GraphDelta
+from .columnar import ColumnarStore
 from .dataset import Dataset
 from .dictionary import TermDictionary
 from .graph import Graph
@@ -18,21 +19,24 @@ from .namespace import RDF, RDFS, SOFOS, XSD_NS, Namespace, PrefixMap, \
 from .ntriples import parse_ntriples, parse_ntriples_file, parse_term, \
     serialize_ntriples, write_ntriples
 from .stats import GraphStatistics, PredicateProfile
+from .store import DictStore, TripleStore, resolve_store
 from .terms import IRI, XSD, BlankNode, Literal, Term, TermOrVariable, \
     Variable, typed_literal
 from .triples import Quad, Triple, TriplePattern
 from .turtle import parse_turtle, serialize_turtle
 
 __all__ = [
-    "BlankNode", "ChangeLog", "Dataset", "Graph", "GraphDelta",
+    "BlankNode", "ChangeLog", "ColumnarStore", "Dataset", "DictStore",
+    "Graph", "GraphDelta",
     "GraphStatistics", "IRI", "Literal",
     "Namespace", "PredicateProfile", "PrefixMap", "Quad", "RDF", "RDFS",
     "SOFOS", "Term", "TermDictionary", "TermOrVariable", "Triple",
-    "TriplePattern", "Variable", "XSD", "XSD_NS", "default_prefixes",
+    "TriplePattern", "TripleStore", "Variable", "XSD", "XSD_NS",
+    "default_prefixes",
     "dataset_memory_report", "dictionary_memory_bytes",
     "graph_memory_bytes",
     "parse_nquads", "parse_ntriples", "parse_ntriples_file", "parse_term",
-    "parse_turtle", "serialize_nquads",
+    "parse_turtle", "resolve_store", "serialize_nquads",
     "serialize_ntriples", "serialize_turtle", "typed_literal",
     "write_ntriples",
 ]

@@ -107,15 +107,17 @@ class Dataset:
         return report
 
     def union_copy(self, names: Iterator[IRI] | None = None) -> Graph:
-        """A fresh graph holding default ∪ selected named graphs (``G+``)."""
-        merged = Graph(self._dict)
-        for sid, pid, oid in self._default._iter_ids():
-            merged._add_ids(sid, pid, oid)
+        """A fresh graph holding default ∪ selected named graphs (``G+``).
+
+        The merge preserves the default graph's storage backend and goes
+        through the bulk id-path (one store apply per source graph).
+        """
+        merged = Graph(self._dict, store=self._default.store_kind)
+        merged.add_ids_bulk(self._default._iter_ids())
         selected = list(self._named) if names is None else list(names)
         for name in selected:
             g = self._named.get(name)
             if g is None:
                 continue
-            for sid, pid, oid in g._iter_ids():
-                merged._add_ids(sid, pid, oid)
+            merged.add_ids_bulk(g._iter_ids())
         return merged

@@ -1,16 +1,26 @@
 """An indexed, dictionary-encoded, in-memory RDF graph.
 
-The store keeps three nested-hash indexes (SPO, POS, OSP) over integer term
-ids, which makes every one of the eight triple-pattern access paths a hash
-walk rather than a scan.  This is the substrate the paper assumes when it
-says SOFOS can run "on any RDF triple store with SPARQL query processing".
+The graph owns *semantics* — term interning, version counting, change
+capture, failpoint seams — and delegates physical *layout* to a
+pluggable :class:`~repro.rdf.store.TripleStore`.  The default
+``DictStore`` keeps three nested-hash indexes (SPO, POS, OSP) over
+integer term ids, which makes every one of the eight triple-pattern
+access paths a hash walk rather than a scan; the ``ColumnarStore``
+backend keeps sorted contiguous id-columns probed by binary search.
+This is the substrate the paper assumes when it says SOFOS can run "on
+any RDF triple store with SPARQL query processing".
 
 Typical usage::
 
-    g = Graph()
+    g = Graph()                      # nested-hash layout (default)
+    g = Graph(store="columnar")      # sorted-column layout
     g.add(Triple(EX.france, EX.population, typed_literal(67_000_000)))
     for t in g.triples(p=EX.population):
         ...
+
+The ``REPRO_STORE`` environment variable changes the default backend
+process-wide (``REPRO_STORE=columnar``), which is how CI runs the whole
+test suite against both layouts.
 """
 
 from __future__ import annotations
@@ -21,47 +31,11 @@ from typing import Iterable, Iterator, Optional
 from ..resilience.failpoints import fail_at
 from .changelog import ChangeLog, DEFAULT_CHANGELOG_LIMIT
 from .dictionary import TermDictionary
+from .store import TripleStore, resolve_store
 from .terms import IRI, BlankNode, Literal, Term, Variable
 from .triples import Triple, TriplePattern
 
 __all__ = ["Graph"]
-
-_Index = dict  # dict[int, dict[int, set[int]]]
-
-
-def _no_leaf(key: int):
-    """Leaf accessor for a constant the index has never seen."""
-    return None
-
-
-def _index_add(index: _Index, a: int, b: int, c: int) -> bool:
-    level1 = index.get(a)
-    if level1 is None:
-        index[a] = {b: {c}}
-        return True
-    level2 = level1.get(b)
-    if level2 is None:
-        level1[b] = {c}
-        return True
-    if c in level2:
-        return False
-    level2.add(c)
-    return True
-
-
-def _index_discard(index: _Index, a: int, b: int, c: int) -> bool:
-    level1 = index.get(a)
-    if level1 is None:
-        return False
-    level2 = level1.get(b)
-    if level2 is None or c not in level2:
-        return False
-    level2.discard(c)
-    if not level2:
-        del level1[b]
-        if not level1:
-            del index[a]
-    return True
 
 
 class Graph:
@@ -74,19 +48,21 @@ class Graph:
         several graphs must produce comparable term ids (the
         :class:`~repro.rdf.dataset.Dataset` does this for all its graphs);
         by default each graph owns a private one.
+    store:
+        Storage backend: a name (``"dict"`` / ``"columnar"``), a ready
+        :class:`~repro.rdf.store.TripleStore` instance (adopted as-is),
+        or ``None`` to consult ``$REPRO_STORE`` and fall back to the
+        nested-hash layout.
     """
 
-    __slots__ = ("_dict", "_spo", "_pos", "_osp", "_size", "_pred_counts",
-                 "_version", "_node_cache", "_hist_cache", "_logs")
+    __slots__ = ("_dict", "_store", "_version", "_node_cache",
+                 "_hist_cache", "_logs")
 
     def __init__(self, dictionary: TermDictionary | None = None,
-                 triples: Iterable[Triple] | None = None) -> None:
+                 triples: Iterable[Triple] | None = None,
+                 store: str | TripleStore | None = None) -> None:
         self._dict = dictionary if dictionary is not None else TermDictionary()
-        self._spo: _Index = {}
-        self._pos: _Index = {}
-        self._osp: _Index = {}
-        self._size = 0
-        self._pred_counts: dict[int, int] = {}
+        self._store: TripleStore = resolve_store(store)
         self._version = 0
         # version-keyed caches of the whole-graph statistics the cost
         # models probe repeatedly: (version, payload) tuples.
@@ -108,6 +84,16 @@ class Graph:
         return self._dict
 
     @property
+    def store(self) -> TripleStore:
+        """The storage backend holding this graph's triples."""
+        return self._store
+
+    @property
+    def store_kind(self) -> str:
+        """Name of the configured storage backend (``dict``/``columnar``)."""
+        return self._store.kind
+
+    @property
     def version(self) -> int:
         """A counter incremented by every successful mutation.
 
@@ -117,10 +103,10 @@ class Graph:
         return self._version
 
     def __len__(self) -> int:
-        return self._size
+        return len(self._store)
 
     def __bool__(self) -> bool:
-        return self._size > 0
+        return len(self._store) > 0
 
     def __iter__(self) -> Iterator[Triple]:
         return self.triples()
@@ -132,16 +118,38 @@ class Graph:
         oid = self._dict.lookup(o)
         if sid is None or pid is None or oid is None:
             return False
-        level1 = self._spo.get(sid)
-        if level1 is None:
-            return False
-        level2 = level1.get(pid)
-        return level2 is not None and oid in level2
+        return self._store.contains(sid, pid, oid)
 
     def __repr__(self) -> str:
-        return f"<Graph with {self._size} triples>"
+        return (f"<Graph with {len(self._store)} triples "
+                f"[{self._store.kind}]>")
 
     # -- mutation ------------------------------------------------------------
+
+    def _apply(self, inserts, deletes) -> tuple[int, int]:
+        """The single mutation seam shared by every write path.
+
+        Applies ``inserts`` then ``deletes`` (iterables of id-triples,
+        ``None`` to skip) to the store, bumps the version once iff
+        anything actually changed, and pushes per-triple records to live
+        change logs.  Routing *all* writes through here is what keeps
+        the two storage backends from drifting on version-bump /
+        changelog-push semantics.
+        """
+        store = self._store
+        added = store.insert_many(inserts) if inserts is not None else ()
+        removed = store.delete_many(deletes) if deletes is not None else ()
+        if not added and not removed:
+            return 0, 0
+        self._version += 1
+        if self._logs:
+            for log in self._live_logs():
+                record = log._record
+                for sid, pid, oid in added:
+                    record(sid, pid, oid, 1)
+                for sid, pid, oid in removed:
+                    record(sid, pid, oid, -1)
+        return len(added), len(removed)
 
     def add(self, triple: Triple) -> bool:
         """Add a triple; returns True when it was not already present."""
@@ -152,17 +160,8 @@ class Graph:
         return self._add_ids(sid, pid, oid)
 
     def _add_ids(self, sid: int, pid: int, oid: int) -> bool:
-        if not _index_add(self._spo, sid, pid, oid):
-            return False
-        _index_add(self._pos, pid, oid, sid)
-        _index_add(self._osp, oid, sid, pid)
-        self._size += 1
-        self._pred_counts[pid] = self._pred_counts.get(pid, 0) + 1
-        self._version += 1
-        if self._logs:
-            for log in self._live_logs():
-                log._record(sid, pid, oid, 1)
-        return True
+        added, _ = self._apply(((sid, pid, oid),), None)
+        return bool(added)
 
     def update(self, triples: Iterable[Triple]) -> int:
         """Add many triples; returns the number actually inserted."""
@@ -180,23 +179,7 @@ class Graph:
         version once iff anything was inserted.
         """
         fail_at("graph.add_ids_bulk")
-        spo, pos, osp = self._spo, self._pos, self._osp
-        pred_counts = self._pred_counts
-        logs = self._live_logs() if self._logs else []
-        added = 0
-        for sid, pid, oid in id_triples:
-            if not _index_add(spo, sid, pid, oid):
-                continue
-            _index_add(pos, pid, oid, sid)
-            _index_add(osp, oid, sid, pid)
-            pred_counts[pid] = pred_counts.get(pid, 0) + 1
-            added += 1
-            if logs:
-                for log in logs:
-                    log._record(sid, pid, oid, 1)
-        if added:
-            self._size += added
-            self._version += 1
+        added, _ = self._apply(id_triples, None)
         return added
 
     def discard(self, triple: Triple) -> bool:
@@ -211,21 +194,8 @@ class Graph:
 
     def discard_ids(self, sid: int, pid: int, oid: int) -> bool:
         """Remove one id-triple; returns True when it was present."""
-        if not _index_discard(self._spo, sid, pid, oid):
-            return False
-        _index_discard(self._pos, pid, oid, sid)
-        _index_discard(self._osp, oid, sid, pid)
-        self._size -= 1
-        remaining = self._pred_counts[pid] - 1
-        if remaining:
-            self._pred_counts[pid] = remaining
-        else:
-            del self._pred_counts[pid]
-        self._version += 1
-        if self._logs:
-            for log in self._live_logs():
-                log._record(sid, pid, oid, -1)
-        return True
+        _, removed = self._apply(None, ((sid, pid, oid),))
+        return bool(removed)
 
     def remove(self, triples: Iterable[Triple]) -> int:
         """Remove many triples with a single version bump.
@@ -254,27 +224,7 @@ class Graph:
         skipped), and bumps the version once iff anything was removed.
         """
         fail_at("graph.remove_ids_bulk")
-        spo, pos, osp = self._spo, self._pos, self._osp
-        pred_counts = self._pred_counts
-        logs = self._live_logs() if self._logs else []
-        removed = 0
-        for sid, pid, oid in id_triples:
-            if not _index_discard(spo, sid, pid, oid):
-                continue
-            _index_discard(pos, pid, oid, sid)
-            _index_discard(osp, oid, sid, pid)
-            remaining = pred_counts[pid] - 1
-            if remaining:
-                pred_counts[pid] = remaining
-            else:
-                del pred_counts[pid]
-            removed += 1
-            if logs:
-                for log in logs:
-                    log._record(sid, pid, oid, -1)
-        if removed:
-            self._size -= removed
-            self._version += 1
+        _, removed = self._apply(None, id_triples)
         return removed
 
     def clear(self) -> None:
@@ -283,11 +233,7 @@ class Graph:
         Change logs cannot itemize a wholesale clear; their current window
         is marked truncated so consumers fall back to full recomputation.
         """
-        self._spo.clear()
-        self._pos.clear()
-        self._osp.clear()
-        self._pred_counts.clear()
-        self._size = 0
+        self._store.clear()
         self._version += 1
         if self._logs:
             for log in self._live_logs():
@@ -325,31 +271,37 @@ class Graph:
         return False
 
     def copy(self, dictionary: TermDictionary | None = None) -> "Graph":
-        """A triple-level copy, optionally re-encoded against ``dictionary``."""
-        clone = Graph(dictionary if dictionary is not None else self._dict)
-        if clone._dict is self._dict:
-            clone.add_ids_bulk(self._iter_ids())
-        else:
-            for t in self.triples():
-                clone.add(t)
+        """A copy preserving the storage backend.
+
+        Same-dictionary copies are O(store): the backend clones its own
+        index structures (array slices on columnar, dict rebuilds on
+        dict) instead of re-inserting triple-at-a-time.  Re-encoding
+        against a different ``dictionary`` falls back to per-triple
+        decode/re-add on a fresh store of the same kind.
+        """
+        if dictionary is None or dictionary is self._dict:
+            clone = Graph(self._dict, store=self._store.copy())
+            clone._version = 1 if len(clone._store) else 0
+            return clone
+        clone = Graph(dictionary, store=self._store.kind)
+        for t in self.triples():
+            clone.add(t)
         return clone
 
     # -- id-level access (used by the SPARQL executor) -----------------------
 
     def subject_ids(self):
-        """Live view of the ids appearing in subject position.
+        """Distinct ids appearing in subject position.
 
         Deterministically ordered (insertion order of first use as a
-        subject); the update-stream generator samples entities from it.
-        Callers must treat the view as read-only.
+        subject on the dict backend, ascending id order on columnar);
+        the update-stream generator samples entities from it.  Callers
+        must treat the view as read-only.
         """
-        return self._spo.keys()
+        return self._store.subject_ids()
 
     def _iter_ids(self) -> Iterator[tuple[int, int, int]]:
-        for sid, level1 in self._spo.items():
-            for pid, level2 in level1.items():
-                for oid in level2:
-                    yield (sid, pid, oid)
+        return self._store.iter_ids()
 
     def snapshot_ids(self) -> list[tuple[int, int, int]]:
         """The full id-triple content, materialized as a list.
@@ -359,130 +311,40 @@ class Graph:
         + ``add_ids_bulk(snapshot)`` (ids stay valid across the round
         trip because the dictionary is append-only).
         """
-        return list(self._iter_ids())
+        return self._store.snapshot_ids()
 
     def match_ids(self, sid: Optional[int], pid: Optional[int],
                   oid: Optional[int]) -> Iterator[tuple[int, int, int]]:
         """Iterate id-triples matching a pattern of ids (None = wildcard).
 
         This is the raw access path: every one of the eight concretization
-        patterns walks the cheapest of the three indexes.
+        patterns walks the cheapest of the three permutation indexes.
         """
-        if sid is not None:
-            level1 = self._spo.get(sid)
-            if level1 is None:
-                return
-            if pid is not None:
-                level2 = level1.get(pid)
-                if level2 is None:
-                    return
-                if oid is not None:
-                    if oid in level2:
-                        yield (sid, pid, oid)
-                    return
-                for o in level2:
-                    yield (sid, pid, o)
-                return
-            if oid is not None:
-                preds = self._osp.get(oid, {}).get(sid)
-                if preds:
-                    for p in preds:
-                        yield (sid, p, oid)
-                return
-            for p, objs in level1.items():
-                for o in objs:
-                    yield (sid, p, o)
-            return
-        if pid is not None:
-            level1 = self._pos.get(pid)
-            if level1 is None:
-                return
-            if oid is not None:
-                subs = level1.get(oid)
-                if subs:
-                    for s in subs:
-                        yield (s, pid, oid)
-                return
-            for o, subs in level1.items():
-                for s in subs:
-                    yield (s, pid, o)
-            return
-        if oid is not None:
-            level1 = self._osp.get(oid)
-            if level1 is None:
-                return
-            for s, preds in level1.items():
-                for p in preds:
-                    yield (s, p, oid)
-            return
-        yield from self._iter_ids()
-
-    _EMPTY_ADJACENCY: frozenset = frozenset()
+        return self._store.match_ids(sid, pid, oid)
 
     def adjacent_ids(self, sid: Optional[int], pid: Optional[int],
                      oid: Optional[int]):
-        """The set of ids filling the single ``None`` position.
+        """The ids filling the single ``None`` position.
 
         This is the raw index leaf: the batched executor probes it once
         per distinct bound prefix and the hash join intersects candidate
         sets directly, with no per-triple tuple construction.  Exactly one
-        position must be ``None``.  The returned set is **live index
-        state** — callers must treat it as read-only.
+        position must be ``None``.  The returned collection may be **live
+        index state** — callers must treat it as read-only.
         """
-        if sid is None:
-            if pid is None or oid is None:
-                raise ValueError("adjacent_ids needs exactly one wildcard")
-            return self._pos.get(pid, {}).get(oid) or self._EMPTY_ADJACENCY
-        if pid is None:
-            if oid is None:
-                raise ValueError("adjacent_ids needs exactly one wildcard")
-            return self._osp.get(oid, {}).get(sid) or self._EMPTY_ADJACENCY
-        if oid is not None:
-            raise ValueError("adjacent_ids needs exactly one wildcard")
-        return self._spo.get(sid, {}).get(pid) or self._EMPTY_ADJACENCY
+        return self._store.adjacent_ids(sid, pid, oid)
 
     def pair_adjacency(self, key_pos: int, free_pos: int, const_id: int):
         """A per-key leaf accessor for two-variable, one-constant patterns.
 
-        Returns ``get(key) -> set | None`` mapping the id at ``key_pos`` to
-        the live leaf set of ids at ``free_pos``, with ``const_id`` fixed at
-        the remaining position.  The batched executor hoists this out of
-        its probe loop so each distinct key costs one or two dict lookups
-        and no per-call position dispatch.  Leaf sets are live index state —
-        read-only for callers.
+        Returns ``get(key) -> collection | None`` mapping the id at
+        ``key_pos`` to the leaf of ids at ``free_pos``, with ``const_id``
+        fixed at the remaining position.  The batched executor hoists
+        this out of its probe loop so each distinct key costs one or two
+        index lookups and no per-call position dispatch.  Leaves may be
+        live index state — read-only for callers.
         """
-        if key_pos == 0 and free_pos == 2:    # (key, const_p, ?) → SPO
-            spo_get = self._spo.get
-
-            def get_o(key: int, _p: int = const_id):
-                level = spo_get(key)
-                return level.get(_p) if level else None
-            return get_o
-        if key_pos == 2 and free_pos == 0:    # (?, const_p, key) → POS
-            level1 = self._pos.get(const_id)
-            return level1.get if level1 is not None else _no_leaf
-        if key_pos == 0 and free_pos == 1:    # (key, ?, const_o) → OSP
-            level1 = self._osp.get(const_id)
-            return level1.get if level1 is not None else _no_leaf
-        if key_pos == 1 and free_pos == 2:    # (const_s, key, ?) → SPO
-            level1 = self._spo.get(const_id)
-            return level1.get if level1 is not None else _no_leaf
-        if key_pos == 1 and free_pos == 0:    # (?, key, const_o) → POS
-            pos_get = self._pos.get
-
-            def get_s(key: int, _o: int = const_id):
-                level = pos_get(key)
-                return level.get(_o) if level else None
-            return get_s
-        if key_pos == 2 and free_pos == 1:    # (const_s, ?, key) → OSP
-            osp_get = self._osp.get
-
-            def get_p(key: int, _s: int = const_id):
-                level = osp_get(key)
-                return level.get(_s) if level else None
-            return get_p
-        raise ValueError(
-            f"invalid pair_adjacency positions ({key_pos}, {free_pos})")
+        return self._store.pair_adjacency(key_pos, free_pos, const_id)
 
     def count_ids(self, sid: Optional[int], pid: Optional[int],
                   oid: Optional[int]) -> int:
@@ -491,30 +353,7 @@ class Graph:
         The planner uses this to order basic graph patterns most-selective
         first; all cases are O(index-fanout) or better.
         """
-        if sid is not None:
-            level1 = self._spo.get(sid)
-            if level1 is None:
-                return 0
-            if pid is not None:
-                level2 = level1.get(pid)
-                if level2 is None:
-                    return 0
-                if oid is not None:
-                    return 1 if oid in level2 else 0
-                return len(level2)
-            if oid is not None:
-                return len(self._osp.get(oid, {}).get(sid, ()))
-            return sum(len(objs) for objs in level1.values())
-        if pid is not None:
-            if oid is not None:
-                return len(self._pos.get(pid, {}).get(oid, ()))
-            return self._pred_counts.get(pid, 0)
-        if oid is not None:
-            level1 = self._osp.get(oid)
-            if level1 is None:
-                return 0
-            return sum(len(preds) for preds in level1.values())
-        return self._size
+        return self._store.count_ids(sid, pid, oid)
 
     # -- term-level access ----------------------------------------------------
 
@@ -538,7 +377,7 @@ class Graph:
         if ids is None:
             return
         decode = self._dict.decode
-        for sid, pid, oid in self.match_ids(*ids):
+        for sid, pid, oid in self._store.match_ids(*ids):
             yield Triple(decode(sid), decode(pid), decode(oid))
 
     def count(self, s: Term | None = None, p: Term | None = None,
@@ -547,7 +386,7 @@ class Graph:
         ids = self._encode_pattern(s, p, o)
         if ids is None:
             return 0
-        return self.count_ids(*ids)
+        return self._store.count_ids(*ids)
 
     def subjects(self, p: Term | None = None, o: Term | None = None
                  ) -> Iterator[Term]:
@@ -556,7 +395,7 @@ class Graph:
         ids = self._encode_pattern(None, p, o)
         if ids is None:
             return
-        for sid, _, _ in self.match_ids(*ids):
+        for sid, _, _ in self._store.match_ids(*ids):
             if sid not in seen:
                 seen.add(sid)
                 yield self._dict.decode(sid)
@@ -568,14 +407,14 @@ class Graph:
         ids = self._encode_pattern(s, p, None)
         if ids is None:
             return
-        for _, _, oid in self.match_ids(*ids):
+        for _, _, oid in self._store.match_ids(*ids):
             if oid not in seen:
                 seen.add(oid)
                 yield self._dict.decode(oid)
 
     def predicates(self) -> Iterator[Term]:
         """Distinct predicates used in the graph."""
-        for pid in self._pred_counts:
+        for pid in self._store.predicate_counts():
             yield self._dict.decode(pid)
 
     def value(self, s: Term | None = None, p: Term | None = None,
@@ -612,10 +451,10 @@ class Graph:
         cached = self._node_cache.get(include_predicates)
         if cached is not None and cached[0] == self._version:
             return cached[1]
-        nodes = set(self._spo.keys())
-        nodes.update(self._osp.keys())
+        nodes = set(self._store.subject_ids())
+        nodes.update(self._store.object_ids())
         if include_predicates:
-            nodes.update(self._pred_counts.keys())
+            nodes.update(self._store.predicate_counts())
         self._node_cache[include_predicates] = (self._version, nodes)
         return nodes
 
@@ -638,7 +477,8 @@ class Graph:
         if cached is not None and cached[0] == self._version:
             return dict(cached[1])
         decode = self._dict.decode
-        histogram = {decode(pid): n for pid, n in self._pred_counts.items()}
+        histogram = {decode(pid): n
+                     for pid, n in self._store.predicate_counts().items()}
         self._hist_cache = (self._version, histogram)
         return dict(histogram)
 

@@ -24,15 +24,6 @@ __all__ = ["graph_memory_bytes", "dictionary_memory_bytes",
            "dataset_memory_report"]
 
 
-def _index_bytes(index: dict) -> int:
-    total = sys.getsizeof(index)
-    for level1 in index.values():
-        total += sys.getsizeof(level1)
-        for leaf in level1.values():
-            total += sys.getsizeof(leaf)
-    return total
-
-
 def _term_bytes(term: Term) -> int:
     total = sys.getsizeof(term)
     if isinstance(term, IRI):
@@ -47,15 +38,15 @@ def _term_bytes(term: Term) -> int:
 
 
 def graph_memory_bytes(graph: Graph, include_dictionary: bool = False) -> int:
-    """Estimated bytes held by a graph's three indexes.
+    """Estimated bytes held by a graph's index structures.
 
-    Pass ``include_dictionary=True`` for a standalone graph; graphs
-    sharing a dataset dictionary should charge it once via
+    Delegates to the storage backend's own accounting (nested hash
+    containers on dict, contiguous id-columns on columnar).  Pass
+    ``include_dictionary=True`` for a standalone graph; graphs sharing a
+    dataset dictionary should charge it once via
     :func:`dictionary_memory_bytes` instead.
     """
-    total = (_index_bytes(graph._spo) + _index_bytes(graph._pos)
-             + _index_bytes(graph._osp)
-             + sys.getsizeof(graph._pred_counts))
+    total = graph.store.memory_bytes()
     if include_dictionary:
         total += dictionary_memory_bytes(graph.dictionary)
     return total

@@ -49,21 +49,16 @@ class GraphStatistics:
 
     @classmethod
     def of(cls, graph: Graph) -> "GraphStatistics":
-        """Profile ``graph`` in a single pass over its POS index."""
+        """Profile ``graph`` in a single pass over its storage backend."""
         decode = graph.dictionary.decode
         profiles: dict[IRI, PredicateProfile] = {}
-        for pid, by_object in graph._pos.items():
+        for pid, triples, distinct_subjects, distinct_objects \
+                in graph.store.predicate_stats():
             predicate = decode(pid)
-            distinct_objects = len(by_object)
-            subjects: set[int] = set()
-            triples = 0
-            for subs in by_object.values():
-                subjects.update(subs)
-                triples += len(subs)
             profiles[predicate] = PredicateProfile(
                 predicate=predicate,
                 triples=triples,
-                distinct_subjects=len(subjects),
+                distinct_subjects=distinct_subjects,
                 distinct_objects=distinct_objects,
             )
         iris = blanks = literals = 0

@@ -54,6 +54,11 @@ from .batch import BindingBatch, dedup_rows
 from .expr import EvalContext, evaluate, evaluate_ebv
 from .values import numeric_result, order_key, to_number
 
+try:  # the vectorized probe paths want numpy, but never require it
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
+
 __all__ = ["Executor"]
 
 Binding = dict[Variable, Term]
@@ -84,6 +89,10 @@ _PROBE_KEYS = _REG.counter(
 _PROBE_ROWS = _REG.counter(
     "engine_probe_rows_total",
     "batch rows entering BGP index probes")
+_PROBE_BULK = _REG.counter(
+    "engine_probe_bulk_total",
+    "whole-batch probes answered by vectorized store kernels",
+    labels=("kernel",))
 
 
 class _OpStats:
@@ -104,6 +113,10 @@ class Executor:
     def __init__(self, graph: Graph) -> None:
         self._graph = graph
         self._dict = graph.dictionary
+        # Vectorized probe/fold paths: only when the storage backend
+        # exposes the bulk kernel API (columnar) and numpy is importable.
+        self._vec = bool(_np is not None
+                         and getattr(graph.store, "vectorized", False))
         # Overlay interning for query-computed terms: ids -1, -2, ...
         self._extra_by_term: dict[Term, int] = {}
         self._extra_by_id: list[Term] = []
@@ -113,6 +126,7 @@ class Executor:
         # id → numeric value / order key, stable for the executor's
         # lifetime (ids are append-only in both dictionary and overlay).
         self._num_cache: dict[int, object] = {}
+        self._num_tbl = None  # id-indexed float64 view of _num_cache
         self._okey_cache: dict[int, tuple] = {}
         # EXISTS: compiled per group pattern (keyed on the frozen group
         # itself — the strong reference rules out id-reuse staleness) and
@@ -451,9 +465,25 @@ class Executor:
         rebuild_cols: list[list] = [[] for _ in rebuild_vars]
         n_rebuild = len(rebuild_vars)
 
+        bound_positions = [k for k in (0, 1, 2) if bound_cols[k] is not None]
+        const_positions = [k for k in (0, 1, 2) if const_ids[k] is not None]
+
+        # Columnar stores answer clean probe shapes wholesale: one
+        # searchsorted pass over the whole batch instead of one index walk
+        # per distinct key.  Repeated pattern variables and holey bound
+        # columns need per-row wildcard semantics and stay on the loops.
+        if self._vec and n:
+            pattern_vars = [v for v in pos_vars if v is not None]
+            if (len(set(pattern_vars)) == len(pattern_vars)
+                    and all(pos_ord[k] is None for k in bound_positions)):
+                out = self._probe_bulk(cur, n, const_ids, bound_cols,
+                                       bound_positions, const_positions,
+                                       rebuild_vars, rebuild_first_pos)
+                if out is not None:
+                    return out
+
         # Group rows by the values of the bound positions only — the
         # constants are shared by every row and stay out of the hash key.
-        bound_positions = [k for k in (0, 1, 2) if bound_cols[k] is not None]
         groups: dict = {}
         if not bound_positions:
             groups[None] = range(n) if n else []
@@ -481,7 +511,6 @@ class Executor:
 
         # Fast path — one clean bound column, one constant, one fresh
         # variable: each group is a single hoisted index-leaf lookup.
-        const_positions = [k for k in (0, 1, 2) if const_ids[k] is not None]
         if (len(bound_positions) == 1 and len(const_positions) == 1
                 and n_rebuild == 1
                 and pos_ord[bound_positions[0]] is None):
@@ -531,6 +560,128 @@ class Executor:
         prov = cur.prov
         return BindingBatch(tuple(out_vars), out_cols,
                             prov if identity else [prov[i] for i in out_index])
+
+    def _bulk_gather(self, columns, prov: list, rows) -> tuple[list, list]:
+        """Gather batch columns + provenance through a numpy row index.
+
+        Clean int columns gather in C; holey ones (None from OPTIONAL
+        upstream) fall back to the python loop per column.
+        """
+        np = _np
+        idx = None
+        out_cols = []
+        for col in columns:
+            try:
+                arr = np.asarray(col, dtype=np.int64)
+            except (TypeError, ValueError):
+                if idx is None:
+                    idx = rows.tolist()
+                out_cols.append([col[i] for i in idx])
+                continue
+            out_cols.append(arr[rows].tolist())
+        out_prov = np.asarray(prov, dtype=np.int64)[rows].tolist()
+        return out_cols, out_prov
+
+    def _probe_bulk(self, cur: BindingBatch, n: int,
+                    const_ids: list[Optional[int]],
+                    bound_cols: list[Optional[list]],
+                    bound_positions: list[int],
+                    const_positions: list[int],
+                    rebuild_vars: list[Variable],
+                    rebuild_first_pos: list[int]
+                    ) -> Optional[BindingBatch]:
+        """One searchsorted pass for the whole batch (columnar stores).
+
+        Covers the vectorizable probe shapes: constant-skeleton scans,
+        leaf probes (one bound + one constant), a-range probes (one
+        bound, two free), packed pair probes (two bound, one free), and
+        existence masks (one bound + two constants).  Every rebuilt
+        variable is fresh in these shapes (a bound one would make its
+        column holey, which the caller already excluded), so match ids
+        gather straight out of the store's sorted columns.  Returns
+        ``None`` when the shape is outside the kernels' reach.
+        """
+        np = _np
+        store = self._graph.store
+        nb = len(bound_positions)
+        nc = len(const_positions)
+        nf = len(rebuild_vars)
+        prov = cur.prov
+
+        if nb == 0:
+            # Constant skeleton: every row sees the same matches.
+            count, value_cols = store.bulk_scan(tuple(const_ids))
+            if _REG.enabled:
+                _PROBE_ROWS.inc(n)
+                _PROBE_KEYS.inc(1)
+                _PROBE_BULK.inc(1, ("scan",))
+            new_vars = tuple(rebuild_vars)
+            if count == 0:
+                return BindingBatch.empty(cur.variables + new_vars)
+            if count == 1:
+                out_cols = list(cur.columns)
+                for k in rebuild_first_pos:
+                    out_cols.append([int(value_cols[k][0])] * n)
+                return BindingBatch(cur.variables + new_vars, out_cols, prov)
+            rows = np.repeat(np.arange(n), count)
+            out_cols, out_prov = self._bulk_gather(cur.columns, prov, rows)
+            for k in rebuild_first_pos:
+                out_cols.append(np.tile(value_cols[k], n).tolist())
+            return BindingBatch(cur.variables + new_vars, out_cols, out_prov)
+
+        if nb == 1 and nc == 2 and nf == 0:
+            # Fully grounded per row: a membership mask.
+            keys = np.asarray(bound_cols[bound_positions[0]], dtype=np.int64)
+            mask = store.bulk_exists(bound_positions[0], tuple(const_ids),
+                                     keys)
+            if _REG.enabled:
+                _PROBE_ROWS.inc(n)
+                _PROBE_KEYS.inc(int(np.unique(keys).size))
+                _PROBE_BULK.inc(1, ("exists",))
+            if mask.all():
+                return cur
+            rows = np.flatnonzero(mask)
+            out_cols, out_prov = self._bulk_gather(cur.columns, prov, rows)
+            return BindingBatch(cur.variables, out_cols, out_prov)
+
+        if (nb == 1 and (nc, nf) in ((1, 1), (0, 2))) \
+                or (nb == 2 and nc == 0 and nf == 1):
+            key_arrays = [np.asarray(bound_cols[k], dtype=np.int64)
+                          for k in bound_positions]
+            starts, ends, value_cols = store.bulk_probe(
+                tuple(bound_positions), tuple(const_ids), key_arrays)
+            counts = ends - starts
+            total = int(counts.sum())
+            if _REG.enabled:
+                _PROBE_ROWS.inc(n)
+                if nb == 1:
+                    _PROBE_KEYS.inc(int(np.unique(key_arrays[0]).size))
+                else:
+                    _PROBE_KEYS.inc(int(np.unique(
+                        np.column_stack(key_arrays), axis=0).shape[0]))
+                _PROBE_BULK.inc(
+                    1, ("pair" if nb == 2 else "leaf" if nc else "range",))
+            new_vars = tuple(rebuild_vars)
+            if total == 0:
+                return BindingBatch.empty(cur.variables + new_vars)
+            if total == n and bool((counts == 1).all()):
+                # Exactly one match per row: columns pass through shared.
+                out_cols = list(cur.columns)
+                for k in rebuild_first_pos:
+                    out_cols.append(value_cols[k][starts].tolist())
+                return BindingBatch(cur.variables + new_vars, out_cols, prov)
+            # Ragged gather: row i contributes counts[i] output rows whose
+            # match ids are the store rows [starts[i], ends[i]).
+            out_rows = np.repeat(np.arange(n), counts)
+            prev = np.cumsum(counts) - counts
+            gather = (np.arange(total) - np.repeat(prev, counts)
+                      + np.repeat(starts, counts))
+            out_cols, out_prov = self._bulk_gather(cur.columns, prov,
+                                                   out_rows)
+            for k in rebuild_first_pos:
+                out_cols.append(value_cols[k][gather].tolist())
+            return BindingBatch(cur.variables + new_vars, out_cols, out_prov)
+        return None
 
     def _probe_general(self, graph: Graph, groups: dict,
                        const_ids: list[Optional[int]],
@@ -879,22 +1030,193 @@ class Executor:
 
     # -- grouping -------------------------------------------------------------
 
+    def _group_single(self, col: list, n: int) -> Optional[tuple]:
+        """First-row-ordered ``({id: member rows}, gid-per-row)`` via argsort.
+
+        The vectorized grouping kernel: one ``np.unique`` + stable
+        argsort instead of n dict probes.  The second element maps each
+        batch row to its group's output index so aggregate folds can
+        histogram without rebuilding membership.  Returns ``None`` when
+        the key column holds unbound rows (the dict loop owns None
+        groups) or vectorization is off.
+        """
+        np = _np
+        if not self._vec or not n:
+            return None
+        try:
+            arr = np.asarray(col, dtype=np.int64)
+        except (TypeError, ValueError):
+            return None
+        uniq, first, inverse, counts = np.unique(
+            arr, return_index=True, return_inverse=True, return_counts=True)
+        order = np.argsort(first, kind="stable")
+        rank = np.empty(len(uniq), dtype=np.int64)
+        rank[order] = np.arange(len(uniq))
+        gids = rank[inverse]
+        members = np.split(np.argsort(gids, kind="stable"),
+                           np.cumsum(counts[order])[:-1])
+        return {key: rows.tolist()
+                for key, rows in zip(uniq[order].tolist(), members)}, gids
+
+    def _group_multi(self, cols: list, n: int) -> Optional[tuple]:
+        """First-row-ordered ``({id tuple: member rows}, gid-per-row)``.
+
+        The multi-key analogue of :meth:`_group_single`: one stable
+        lexsort + run detection instead of n tuple hashes.  ``None``
+        anywhere (missing key column or unbound row) falls back.
+        """
+        np = _np
+        if not self._vec or not n or not cols \
+                or any(c is None for c in cols):
+            return None
+        try:
+            arrs = [np.asarray(c, dtype=np.int64) for c in cols]
+        except (TypeError, ValueError):
+            return None
+        # lexsort keys run least-significant first; stability keeps rows
+        # of equal keys in row order, so each run leads with its first row.
+        order = np.lexsort(arrs[::-1])
+        sorted_cols = [a[order] for a in arrs]
+        change = np.zeros(n, dtype=bool)
+        change[0] = True
+        for a in sorted_cols:
+            change[1:] |= a[1:] != a[:-1]
+        run_starts = np.flatnonzero(change)
+        run_ends = np.append(run_starts[1:], n)
+        first_rows = order[run_starts]
+        perm = np.argsort(first_rows, kind="stable")
+        inv_perm = np.empty(len(run_starts), dtype=np.int64)
+        inv_perm[perm] = np.arange(len(run_starts))
+        gids = np.empty(n, dtype=np.int64)
+        gids[order] = inv_perm[np.cumsum(change) - 1]
+        groups: dict = {}
+        for gi in perm.tolist():
+            lo = int(run_starts[gi])
+            hi = int(run_ends[gi])
+            key = tuple(int(a[lo]) for a in sorted_cols)
+            groups[key] = order[lo:hi].tolist()
+        return groups, gids
+
+    def _group_counts(self, col: list, n: int) -> Optional[dict]:
+        """First-row-ordered ``{id: row count}`` — the COUNT(*) fold.
+
+        Like :meth:`_group_single` but skips materializing member lists;
+        group tables folding pure row counts only need the histogram.
+        """
+        np = _np
+        if not self._vec or not n:
+            return None
+        try:
+            arr = np.asarray(col, dtype=np.int64)
+        except (TypeError, ValueError):
+            return None
+        uniq, first, counts = np.unique(arr, return_index=True,
+                                        return_counts=True)
+        order = np.argsort(first, kind="stable")
+        return dict(zip(uniq[order].tolist(), counts[order].tolist()))
+
+    def _fold_sum_np(self, fast_col: list, member_lists: list[list[int]],
+                     want_avg: bool, gids=None
+                     ) -> Optional[list[Optional[int]]]:
+        """Vectorized SUM/AVG over an all-integer operand column.
+
+        Operand values live in a growable id-indexed float64 table: an id
+        is decoded at most once per executor lifetime, after which the
+        per-row value map is a single C gather and the per-group totals
+        are histogram folds.  NaN marks a not-yet-decoded slot, +inf a
+        value the scalar scan owns (unbound/non-numeric/non-integer, or
+        big enough that float64 accumulation could round — the scalar
+        path keeps exact poisoning and arbitrary-precision semantics).
+        """
+        np = _np
+        n = len(fast_col)
+        if not n:
+            return None
+        try:  # unbound (None) rows raise: the scalar scan owns poisoning
+            arr = np.asarray(fast_col, dtype=np.int64)
+        except (TypeError, ValueError):
+            return None
+        if int(arr.min()) < 0:  # overlay ids: keep the scalar scan
+            return None
+        tbl = self._num_tbl
+        need = int(arr.max()) + 1
+        if tbl is None or len(tbl) < need:
+            cap = max(need, 1024 if tbl is None else 2 * len(tbl))
+            fresh = np.full(cap, np.nan)
+            if tbl is not None:
+                fresh[:len(tbl)] = tbl
+            self._num_tbl = tbl = fresh
+        row_vals = tbl[arr]
+        miss = np.isnan(row_vals)
+        if miss.any():
+            numbers = self._num_cache
+            decode = self.decode_id
+            for tid in np.unique(arr[miss]).tolist():
+                value = numbers.get(tid)
+                if value is None:
+                    try:
+                        value = to_number(decode(tid))
+                    except ExpressionError:
+                        value = _EVAL_ERROR
+                    numbers[tid] = value
+                if (value is _EVAL_ERROR or type(value) is not int
+                        or not -2 ** 52 < value < 2 ** 52):
+                    tbl[tid] = np.inf
+                else:
+                    tbl[tid] = float(value)
+            row_vals = tbl[arr]
+        # Every partial sum stays exact in float64 when the total
+        # absolute mass is below 2**52 (inf rows also trip this guard).
+        if float(np.abs(row_vals).sum()) >= 2.0 ** 52:
+            return None
+        k = len(member_lists)
+        if gids is None:
+            gids = np.empty(n, dtype=np.int64)
+            for gi, members in enumerate(member_lists):
+                gids[members] = gi
+        sums = np.bincount(gids, weights=row_vals, minlength=k)
+        encode = self.encode_term
+        if not want_avg:
+            return [encode(numeric_result(int(total)))
+                    for total in sums.tolist()]
+        counts = np.bincount(gids, minlength=k)
+        out: list[Optional[int]] = []
+        for total, count in zip(sums.tolist(), counts.tolist()):
+            if count == 0:
+                out.append(encode(typed_literal(0)))
+            else:
+                out.append(encode(typed_literal(int(total) / count)))
+        return out
+
     def _eval_groupby(self, op: GroupOp, seed: BindingBatch) -> BindingBatch:
         child = self._eval(op.child, seed)
         n = len(child)
         single_key = len(op.keys) == 1
+        gids = None
         if single_key:
             k = child.index.get(op.keys[0])
             keys = child.columns[k] if k is not None else [None] * n
-            groups: dict = {}
-            for i, key in enumerate(keys):
-                bucket = groups.get(key)
-                if bucket is None:
-                    groups[key] = [i]
-                else:
-                    bucket.append(i)
+            grouped = self._group_single(keys, n)
+            if grouped is not None:
+                groups, gids = grouped
+            else:
+                groups = {}
+                for i, key in enumerate(keys):
+                    bucket = groups.get(key)
+                    if bucket is None:
+                        groups[key] = [i]
+                    else:
+                        bucket.append(i)
         else:
-            groups = child.group_rows(op.keys)
+            groups = None
+            if self._vec:
+                kcols = [child.columns[k] if (k := child.index.get(v))
+                         is not None else None for v in op.keys]
+                grouped = self._group_multi(kcols, n)
+                if grouped is not None:
+                    groups, gids = grouped
+            if groups is None:
+                groups = child.group_rows(op.keys)
         if not groups and not op.keys:
             groups[()] = []  # implicit single group over empty input
 
@@ -907,14 +1229,15 @@ class Executor:
                 for col, tid in zip(key_cols, key):
                     col.append(tid)
 
-        agg_cols = [self._aggregate_column(child, agg, member_lists)
+        agg_cols = [self._aggregate_column(child, agg, member_lists, gids)
                     for _var, agg in op.aggregates]
         out_vars = op.keys + tuple(var for var, _agg in op.aggregates)
         return BindingBatch(out_vars, key_cols + agg_cols,
                             [0] * len(member_lists))
 
     def _aggregate_column(self, child: BindingBatch, agg: AggregateExpr,
-                          member_lists: list[list[int]]) -> list[Optional[int]]:
+                          member_lists: list[list[int]],
+                          gids=None) -> list[Optional[int]]:
         """One aggregate evaluated over every group, in id-space.
 
         Non-DISTINCT COUNT/SUM/AVG/MIN/MAX over a plain variable — the
@@ -935,11 +1258,20 @@ class Executor:
                 else [None] * len(child)
 
         if fast_col is not None and agg.name == "COUNT":
+            if self._vec and None not in fast_col:
+                # Fully-bound column: the member count is the answer.
+                return [encode(typed_literal(len(members)))
+                        for members in member_lists]
             return [encode(typed_literal(
                 sum(1 for i in members if fast_col[i] is not None)))
                 for members in member_lists]
 
         if fast_col is not None and agg.name in ("SUM", "AVG"):
+            if self._vec:
+                out = self._fold_sum_np(fast_col, member_lists,
+                                        agg.name == "AVG", gids)
+                if out is not None:
+                    return out
             decode = self.decode_id
             numbers = self._num_cache
             out: list[Optional[int]] = []

@@ -19,6 +19,7 @@ EXAMPLES = [
     "scholarly_analytics.py",
     "live_updates.py",
     "observability_demo.py",
+    "columnar_store_demo.py",
 ]
 
 EXPECTED_SNIPPETS = {
@@ -28,6 +29,7 @@ EXPECTED_SNIPPETS = {
     "scholarly_analytics.py": "optimal",
     "live_updates.py": "refreshed:",
     "observability_demo.py": "EXPLAIN ANALYZE",
+    "columnar_store_demo.py": "both backends agree",
 }
 
 
